@@ -1,0 +1,77 @@
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/analysis"
+	"repro/internal/condbr"
+	"repro/internal/report"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// printProfile classifies each run's dynamic MT branch population in the
+// paper's monomorphic / low-entropy / polymorphic terms (Section 2,
+// footnotes 2-3) — the validation that the synthetic models carry the
+// population structure the paper attributes to each benchmark.
+func printProfile(suite []workload.Config) {
+	t := report.NewTable("Branch population classification (dynamic MT execution shares, %)",
+		"run", "monomorphic", "low-entropy", "polymorphic", "mean entropy (bits)")
+	for _, cfg := range suite {
+		p := analysis.NewProfiler()
+		cfg.Generate(p.Observe)
+		pop := p.Classify()
+		t.AddRowf(cfg.String(),
+			100*pop.MonomorphicShare, 100*pop.LowEntropyShare, 100*pop.PolymorphicShare,
+			pop.MeanEntropy)
+	}
+	t.Render(os.Stdout)
+	fmt.Println()
+}
+
+// printCond runs the Section 3 conditional-branch predictors over the
+// suite's conditional stream: the PPM-for-directions algorithm the paper
+// uses to introduce the concept, against the classic bimodal and GAg.
+func printCond(suite []workload.Config) {
+	t := report.NewTable("Section 3 substrate: conditional branch direction predictors (mispred %)",
+		"run", "bimodal-2K", "GAg-12", "PPM-cond(8)")
+	type accT struct{ miss, total uint64 }
+	var sums [3]accT
+	for _, cfg := range suite {
+		bi := condbr.NewBimodal(2048)
+		ga := condbr.NewGAg(12)
+		pp := condbr.NewPPM(8)
+		var acc [3]accT
+		cfg.Generate(func(r trace.Record) {
+			if r.Class != trace.CondDirect {
+				return
+			}
+			preds := [3]bool{bi.Predict(r.PC), ga.Predict(), pp.Predict()}
+			for i, p := range preds {
+				acc[i].total++
+				if p != r.Taken {
+					acc[i].miss++
+				}
+			}
+			bi.Update(r.PC, r.Taken)
+			ga.Update(r.Taken)
+			pp.Update(r.Taken)
+		})
+		row := []string{cfg.String()}
+		for i := range acc {
+			row = append(row, report.Pct(float64(acc[i].miss)/float64(acc[i].total)))
+			sums[i].miss += acc[i].miss
+			sums[i].total += acc[i].total
+		}
+		t.AddRow(row...)
+	}
+	row := []string{"TOTAL"}
+	for i := range sums {
+		row = append(row, report.Pct(float64(sums[i].miss)/float64(sums[i].total)))
+	}
+	t.AddRow(row...)
+	t.Render(os.Stdout)
+	fmt.Println("(runs with CondNoise 1 are data-random: every predictor converges to the taken bias)")
+	fmt.Println()
+}

@@ -1,0 +1,251 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation from the synthetic benchmark suite:
+//
+//	experiments -table1        Table 1 (dynamic benchmark characteristics)
+//	experiments -fig1          Figure 1 worked example (3rd-order Markov)
+//	experiments -fig6          Figure 6 (7 predictors x all runs, 2K entries)
+//	experiments -fig7          Figure 7 (3 PPM variants)
+//	experiments -components    Section 5 Markov component access/miss split
+//	experiments -oracle        Section 5 oracle analysis (photon, path len 8)
+//	experiments -all           everything above
+//
+// -events scales the per-run dispatch count; -run restricts to runs whose
+// name contains the given substring.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/bench"
+	"repro/internal/condbr"
+	"repro/internal/core"
+	"repro/internal/oracle"
+	"repro/internal/predictor"
+	"repro/internal/report"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		table1     = flag.Bool("table1", false, "regenerate Table 1")
+		fig1       = flag.Bool("fig1", false, "regenerate the Figure 1 worked example")
+		fig6       = flag.Bool("fig6", false, "regenerate Figure 6")
+		fig7       = flag.Bool("fig7", false, "regenerate Figure 7")
+		components = flag.Bool("components", false, "Markov component access/miss distribution")
+		oracleF    = flag.Bool("oracle", false, "oracle PIB-history analysis")
+		sweep      = flag.Bool("sweep", false, "extension: PPM order/table-size sweep")
+		pathlen    = flag.Bool("pathlen", false, "extension: TC/GAp path-length sensitivity")
+		biu        = flag.Bool("biu", false, "extension: finite-BIU sensitivity")
+		variants   = flag.Bool("variants", false, "extension: PPM design variants (future work)")
+		ipc        = flag.Bool("ipc", false, "motivation: IPC impact on a wide-issue machine")
+		tagged     = flag.Bool("tagged", false, "extension: tagless vs tagged predictor versions")
+		cbtF       = flag.Bool("cbt", false, "related work: Case Block Table vs value availability")
+		filterPol  = flag.Bool("filterpolicy", false, "extension: strict vs leaky Cascade filter")
+		profile    = flag.Bool("profile", false, "classify each run's branch population (mono/low-entropy/polymorphic)")
+		cond       = flag.Bool("cond", false, "Section 3 substrate: conditional direction predictors")
+		budget     = flag.Bool("budget", false, "hardware budget accounting in entries and bits")
+		multi      = flag.Bool("multi", false, "Section 4 alternative: multi-target majority-vote Markov states")
+		all        = flag.Bool("all", false, "run every experiment")
+		ext        = flag.Bool("ext", false, "run every extension experiment")
+		events     = flag.Int("events", bench.DefaultEvents, "MT dispatch events per run")
+		runFilter  = flag.String("run", "", "restrict to runs whose name contains this substring")
+	)
+	flag.Parse()
+
+	if *all {
+		*table1, *fig1, *fig6, *fig7, *components, *oracleF = true, true, true, true, true, true
+	}
+	if *ext {
+		*sweep, *pathlen, *biu, *variants = true, true, true, true
+		*ipc, *tagged, *cbtF, *filterPol = true, true, true, true
+		*profile, *cond, *budget, *multi = true, true, true, true
+	}
+	if !(*table1 || *fig1 || *fig6 || *fig7 || *components || *oracleF ||
+		*sweep || *pathlen || *biu || *variants ||
+		*ipc || *tagged || *cbtF || *filterPol || *profile || *cond ||
+		*budget || *multi) {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	suite := filterRuns(bench.Sized(*events), *runFilter)
+
+	if *table1 {
+		printTable1(suite)
+	}
+	if *fig1 {
+		printFigure1()
+	}
+	if *fig6 {
+		printMatrix("Figure 6: misprediction ratios (%), 2K-entry predictors", suite, bench.Figure6Predictors)
+	}
+	if *fig7 {
+		printMatrix("Figure 7: misprediction ratios (%), PPM variants", suite, bench.Figure7Predictors)
+	}
+	if *components {
+		printComponents(suite)
+	}
+	if *oracleF {
+		printOracle(suite)
+	}
+	if *sweep {
+		printOrderSweep(suite)
+	}
+	if *pathlen {
+		printPathLengthSweep(suite)
+	}
+	if *biu {
+		printBIUSweep(suite)
+	}
+	if *variants {
+		printVariants(suite)
+	}
+	if *ipc {
+		printIPC(suite)
+	}
+	if *tagged {
+		printTagged(suite)
+	}
+	if *cbtF {
+		printCBT(suite)
+	}
+	if *filterPol {
+		printFilterPolicy(suite)
+	}
+	if *profile {
+		printProfile(suite)
+	}
+	if *cond {
+		printCond(suite)
+	}
+	if *budget {
+		printBudget()
+	}
+	if *multi {
+		printMulti(suite)
+	}
+}
+
+func filterRuns(runs []workload.Config, substr string) []workload.Config {
+	if substr == "" {
+		return runs
+	}
+	var out []workload.Config
+	for _, r := range runs {
+		if strings.Contains(r.String(), substr) {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+func printTable1(suite []workload.Config) {
+	t := report.NewTable("Table 1: dynamic benchmark characteristics",
+		"benchmark", "input", "instr (M)", "MT jsr+jmp", "static MT", "cond", "returns")
+	for _, cfg := range suite {
+		var sum workload.Summary
+		sum = discard(cfg)
+		t.AddRowf(sum.Name, sum.Input,
+			fmt.Sprintf("%.1f", float64(sum.Instructions)/1e6),
+			sum.MTDynamic, sum.MTStatic, sum.CondDynamic, sum.RetsDynamic)
+	}
+	t.Render(os.Stdout)
+	fmt.Println()
+}
+
+func discard(cfg workload.Config) workload.Summary {
+	return cfg.Generate(func(trace.Record) {})
+}
+
+func printFigure1() {
+	fmt.Println("Figure 1: 3rd-order Markov predictor over input 01010110101")
+	p := condbr.NewPPM(3)
+	seq := "01010110101"
+	for _, ch := range seq {
+		p.Predict()
+		p.Update(ch == '1')
+	}
+	m := p.Model(3)
+	z, o := m.Counts(0b101) // history bits: most recent in bit 0 -> pattern 101
+	fmt.Printf("  state 101: next-bit counts 0:%d 1:%d\n", z, o)
+	pred := p.Predict()
+	bit := "0"
+	if pred {
+		bit = "1"
+	}
+	fmt.Printf("  PPM prediction after sequence: %s (paper: 0)\n\n", bit)
+}
+
+func printMatrix(title string, suite []workload.Config, preds func() []predictor.IndirectPredictor) {
+	names := func() []string {
+		var n []string
+		for _, p := range preds() {
+			n = append(n, p.Name())
+		}
+		return n
+	}()
+	t := report.NewTable(title, append([]string{"run"}, names...)...)
+	perPred := make(map[string][]stats.Counters)
+	for _, cfg := range suite {
+		recs, _ := cfg.Records()
+		counters := sim.Run(recs, preds()...)
+		row := []string{cfg.String()}
+		for _, c := range counters {
+			row = append(row, report.Pct(c.MispredictionRatio()))
+			perPred[c.Predictor] = append(perPred[c.Predictor], c)
+		}
+		t.AddRow(row...)
+	}
+	avg := []string{"MEAN"}
+	for _, n := range names {
+		avg = append(avg, report.Pct(stats.MeanRatio(perPred[n])))
+	}
+	t.AddRow(avg...)
+	t.Render(os.Stdout)
+	fmt.Println()
+}
+
+func printComponents(suite []workload.Config) {
+	fmt.Println("Markov component access distribution (PPM-hyb)")
+	for _, cfg := range suite {
+		recs, _ := cfg.Records()
+		p := core.PaperHyb()
+		sim.Run(recs, p)
+		st := p.Stats()
+		var total, topAcc, topMiss, totalMiss uint64
+		for i, a := range st.Accesses {
+			total += a
+			totalMiss += st.Misses[i]
+		}
+		topAcc = st.Accesses[p.Order()]
+		topMiss = st.Misses[p.Order()]
+		if total == 0 {
+			continue
+		}
+		missShare := 0.0
+		if totalMiss > 0 {
+			missShare = 100 * float64(topMiss) / float64(totalMiss)
+		}
+		fmt.Printf("  %-12s highest-order accesses: %5.1f%%  misses: %5.1f%%\n",
+			cfg.String(), 100*float64(topAcc)/float64(total), missShare)
+	}
+	fmt.Println()
+}
+
+func printOracle(suite []workload.Config) {
+	fmt.Println("Oracle with complete PIB path history, path length 8")
+	for _, cfg := range suite {
+		recs, _ := cfg.Records()
+		o := oracle.New(8)
+		counters := sim.Run(recs, o)
+		fmt.Printf("  %-12s accuracy: %.2f%% (contexts: %d)\n",
+			cfg.String(), 100*counters[0].Accuracy(), o.Contexts())
+	}
+	fmt.Println()
+}

@@ -1,0 +1,70 @@
+// Command tracegen generates a synthetic benchmark run and writes it to
+// disk in the compact IBT1 binary trace format, for replay with ppmsim:
+//
+//	tracegen -bench perl.exp -events 500000 -o perl.ibt
+//	ppmsim -trace perl.ibt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bench"
+	"repro/internal/trace"
+)
+
+func main() {
+	var (
+		benchName = flag.String("bench", "", "benchmark run name (see ppmsim -list)")
+		events    = flag.Int("events", bench.DefaultEvents, "dispatch events to generate")
+		out       = flag.String("o", "", "output file (required)")
+	)
+	flag.Parse()
+
+	if *benchName == "" || *out == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	cfg, ok := bench.ByName(*benchName)
+	if !ok {
+		fatal(fmt.Errorf("unknown benchmark %q", *benchName))
+	}
+	cfg.Events = *events
+
+	f, err := os.Create(*out)
+	if err != nil {
+		fatal(err)
+	}
+	w, err := trace.NewWriter(f)
+	if err != nil {
+		fatal(err)
+	}
+	var writeErr error
+	sum := cfg.Generate(func(r trace.Record) {
+		if writeErr == nil {
+			writeErr = w.Write(r)
+		}
+	})
+	if writeErr != nil {
+		fatal(writeErr)
+	}
+	if err := w.Flush(); err != nil {
+		fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		fatal(err)
+	}
+	fi, err := os.Stat(*out)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("%s: %d records (%d MT indirect, %.2fM instructions) -> %s (%.1f KiB, %.2f bytes/record)\n",
+		cfg.String(), sum.Records, sum.MTDynamic, float64(sum.Instructions)/1e6,
+		*out, float64(fi.Size())/1024, float64(fi.Size())/float64(sum.Records))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tracegen:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,69 @@
+// vtable models the paper's motivating workload: C++ virtual function
+// dispatch. A scene of shapes is traversed repeatedly; each shape's Draw is
+// a virtual call through its vtable — an indirect jsr whose target is the
+// concrete method. Because the traversal order is data-dependent but
+// recurrent, path-based predictors can learn which override comes next,
+// while a BTB only remembers the last one.
+//
+// The example builds the workload from the public API's site behaviours
+// (the traversal is PIB-correlated: the next object's type follows from
+// the recent dispatch path) and prints how each predictor family copes as
+// polymorphism rises.
+package main
+
+import (
+	"fmt"
+
+	"repro/indirect"
+)
+
+func scene(polymorphism int, seed uint64) indirect.Workload {
+	return indirect.Workload{
+		Name: "vtable", Input: fmt.Sprintf("%d-types", polymorphism),
+		Seed: seed, Events: 50_000,
+		Sites: []indirect.SiteSpec{
+			// The hot draw loop: one virtual call site dispatching over
+			// all concrete types, following the scene graph order.
+			{Label: "Shape.Draw", Class: indirect.IndirectJsr, NumTargets: polymorphism,
+				Behavior: indirect.Correlated{Stream: indirect.StreamPIB, Order: 2, Noise: 0.002}, Weight: 10},
+			// Accessors that in practice always hit one override.
+			{Label: "Shape.Bounds", Class: indirect.IndirectJsr, NumTargets: polymorphism,
+				Behavior: indirect.Monomorphic{Bias: 0.99}, Weight: 5},
+			// A visitor that cycles materials in order.
+			{Label: "Material.Apply", Class: indirect.IndirectJsr, NumTargets: 4,
+				Behavior: indirect.Cyclic{}, Weight: 3},
+		},
+		ChainSites: true, ChainOrder: 2, ChainNoise: 0.004,
+		CondPerEvent: 3, CondNoise: 0.2,
+		CallRate: 0.3, STRate: 0.02,
+	}
+}
+
+func main() {
+	fmt.Println("virtual dispatch misprediction ratio (%) vs polymorphism degree")
+	fmt.Printf("%-10s", "types")
+	names := []string{"BTB", "BTB2b", "TC-PIB", "Cascade", "PPM-hyb"}
+	for _, n := range names {
+		fmt.Printf(" %9s", n)
+	}
+	fmt.Println()
+
+	for _, degree := range []int{2, 4, 8, 16} {
+		cfg := scene(degree, uint64(0xD15EA5E+degree))
+		preds := make([]indirect.Predictor, len(names))
+		for i, n := range names {
+			preds[i], _ = indirect.NewPredictor(n)
+		}
+		eng := indirect.NewEngine(preds...)
+		cfg.Generate(func(r indirect.Record) { eng.Process(r) })
+		fmt.Printf("%-10d", degree)
+		for _, c := range eng.Counters() {
+			fmt.Printf(" %8.2f%%", 100*c.MispredictionRatio())
+		}
+		fmt.Println()
+	}
+	fmt.Println("\nNote how the BTB degrades with polymorphism while the path-based")
+	fmt.Println("predictors track the traversal; 16-byte-aligned method entries starve")
+	fmt.Println("the Target Cache's 2-low-bit history records, the effect the paper's")
+	fmt.Println("PPM avoids by selecting and folding 10 bits per target.")
+}

@@ -1,0 +1,140 @@
+package indirect_test
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/indirect"
+)
+
+// TestQuickstartFlow exercises the documented public-API session end to
+// end: build predictors, generate a benchmark, simulate, read counters.
+func TestQuickstartFlow(t *testing.T) {
+	cfg, ok := indirect.BenchmarkByName("photon")
+	if !ok {
+		t.Fatal("photon missing from the suite")
+	}
+	cfg.Events = 5000
+	eng := indirect.NewEngine(indirect.NewPPMHybrid(), indirect.NewBTB())
+	cfg.Generate(func(r indirect.Record) { eng.Process(r) })
+	counters := eng.Counters()
+	if counters[0].Lookups == 0 {
+		t.Fatal("no MT lookups recorded")
+	}
+	if counters[0].MispredictionRatio() >= counters[1].MispredictionRatio() {
+		t.Errorf("PPM (%.3f) not better than BTB (%.3f) on photon",
+			counters[0].MispredictionRatio(), counters[1].MispredictionRatio())
+	}
+}
+
+func TestCustomWorkload(t *testing.T) {
+	w := indirect.Workload{
+		Name: "custom", Seed: 9, Events: 3000,
+		Sites: []indirect.SiteSpec{
+			{Label: "dispatch", Class: indirect.IndirectJmp, NumTargets: 6,
+				Behavior: indirect.Correlated{Stream: indirect.StreamPIB, Order: 1}, Weight: 4},
+			{Label: "hook", Class: indirect.IndirectJsr, NumTargets: 2,
+				Behavior: indirect.Monomorphic{Bias: 0.99}, Weight: 1},
+		},
+		ChainSites: true, CondPerEvent: 2,
+	}
+	var recs []indirect.Record
+	sum := w.Generate(func(r indirect.Record) { recs = append(recs, r) })
+	if sum.MTDynamic != 3000 {
+		t.Fatalf("MTDynamic = %d", sum.MTDynamic)
+	}
+	counters := indirect.Simulate(recs, indirect.NewPPMPIB(), indirect.NewTargetCache())
+	for _, c := range counters {
+		if c.MispredictionRatio() > 0.2 {
+			t.Errorf("%s: ratio %.3f on an order-1 deterministic workload", c.Predictor, c.MispredictionRatio())
+		}
+	}
+}
+
+func TestTraceRoundTripAPI(t *testing.T) {
+	cfg, _ := indirect.BenchmarkByName("eqn")
+	cfg.Events = 500
+	var recs []indirect.Record
+	cfg.Generate(func(r indirect.Record) { recs = append(recs, r) })
+
+	var buf bytes.Buffer
+	if err := indirect.WriteTrace(&buf, recs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := indirect.ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(recs) {
+		t.Fatalf("round trip %d/%d records", len(got), len(recs))
+	}
+	for i := range recs {
+		if got[i] != recs[i] {
+			t.Fatalf("record %d mismatch", i)
+		}
+	}
+}
+
+func TestNewPredictorRegistry(t *testing.T) {
+	for _, name := range indirect.PredictorNames() {
+		p, ok := indirect.NewPredictor(name)
+		if !ok || p.Name() != name {
+			t.Errorf("NewPredictor(%q) = %v, %v", name, p, ok)
+		}
+	}
+}
+
+func TestRASAPI(t *testing.T) {
+	r := indirect.NewRAS(8)
+	r.Push(0x1004)
+	if got, ok := r.Pop(); !ok || got != 0x1004 {
+		t.Errorf("RAS pop = %#x, %v", got, ok)
+	}
+}
+
+func TestOracleAPI(t *testing.T) {
+	o := indirect.NewOracle(8)
+	cfg, _ := indirect.BenchmarkByName("photon")
+	cfg.Events = 4000
+	var recs []indirect.Record
+	cfg.Generate(func(r indirect.Record) { recs = append(recs, r) })
+	counters := indirect.Simulate(recs, o)
+	if counters[0].Accuracy() < 0.9 {
+		t.Errorf("oracle accuracy on photon = %.3f, want ~0.99", counters[0].Accuracy())
+	}
+}
+
+func TestMeanRatioAPI(t *testing.T) {
+	runs := []indirect.Counters{
+		{Lookups: 100, Wrong: 10},
+		{Lookups: 100, Wrong: 30},
+	}
+	if got := indirect.MeanRatio(runs); got != 0.2 {
+		t.Errorf("MeanRatio = %v", got)
+	}
+}
+
+func TestPipelineAPI(t *testing.T) {
+	r := indirect.Default4Wide.Estimate(4000, 100)
+	if r.IPC != 2 {
+		t.Errorf("IPC = %v, want 2", r.IPC)
+	}
+	if indirect.MPKI(1_000_000, 2500) != 2.5 {
+		t.Error("MPKI wrong")
+	}
+}
+
+func TestCBTAndFilteredAPI(t *testing.T) {
+	for _, p := range []indirect.Predictor{
+		indirect.NewCBT(1024, 1.0),
+		indirect.NewFilteredPPM(),
+	} {
+		if p.Name() == "" {
+			t.Errorf("%T has empty name", p)
+		}
+		if _, ok := p.Predict(0x4000); ok {
+			t.Errorf("%s predicted cold", p.Name())
+		}
+		p.Update(0x4000, 0x140000f0)
+	}
+}

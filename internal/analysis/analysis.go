@@ -1,0 +1,165 @@
+// Package analysis profiles the indirect branches of a trace in the terms
+// the paper uses to classify them: a branch is *monomorphic* when it mostly
+// accesses one target, and has *low entropy* when its target changes
+// infrequently (Section 2, footnotes 2-3). The profiler computes, per
+// static branch, its dynamic frequency, target set size, target-distribution
+// entropy, dominant-target share and target transition rate — and aggregates
+// the population classification for a whole run, which is how the workload
+// models in internal/bench were validated against the behaviours the paper
+// attributes to each benchmark.
+package analysis
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/trace"
+)
+
+// BranchProfile is the per-static-branch summary.
+type BranchProfile struct {
+	// PC is the branch address.
+	PC uint64
+	// Class is the branch's class (of its first dynamic occurrence).
+	Class trace.Class
+	// Executions is the dynamic execution count.
+	Executions uint64
+	// Targets is the number of distinct targets observed.
+	Targets int
+	// DominantShare is the fraction of executions going to the most
+	// frequent target (1.0 = strictly monomorphic).
+	DominantShare float64
+	// Entropy is the Shannon entropy of the target distribution, in bits.
+	Entropy float64
+	// TransitionRate is the fraction of executions whose target differed
+	// from the branch's previous target — the "target changes
+	// infrequently" metric behind the low-entropy class.
+	TransitionRate float64
+}
+
+// Monomorphic reports the paper's footnote-2 classification: the branch
+// mostly accesses one target (dominant share >= 0.9).
+func (b BranchProfile) Monomorphic() bool { return b.DominantShare >= 0.9 }
+
+// LowEntropy reports the paper's footnote-3 classification: the target
+// changes infrequently (transition rate <= 0.1) but the branch is not
+// simply monomorphic.
+func (b BranchProfile) LowEntropy() bool {
+	return !b.Monomorphic() && b.TransitionRate <= 0.1
+}
+
+// Polymorphic reports branches that are neither monomorphic nor low
+// entropy — the population that needs a path-based predictor.
+func (b BranchProfile) Polymorphic() bool { return !b.Monomorphic() && !b.LowEntropy() }
+
+// Profiler accumulates per-branch statistics from a record stream.
+type Profiler struct {
+	branches map[uint64]*acc
+}
+
+type acc struct {
+	class       trace.Class
+	execs       uint64
+	counts      map[uint64]uint64
+	prev        uint64
+	hasPrev     bool
+	transitions uint64
+}
+
+// NewProfiler creates an empty profiler.
+func NewProfiler() *Profiler {
+	return &Profiler{branches: make(map[uint64]*acc)}
+}
+
+// Observe feeds one committed branch record; only multi-target indirect
+// branches (the paper's population of interest) are profiled.
+func (p *Profiler) Observe(r trace.Record) {
+	if !r.MTIndirect() {
+		return
+	}
+	a := p.branches[r.PC]
+	if a == nil {
+		a = &acc{class: r.Class, counts: make(map[uint64]uint64)}
+		p.branches[r.PC] = a
+	}
+	a.execs++
+	a.counts[r.Target]++
+	if a.hasPrev && a.prev != r.Target {
+		a.transitions++
+	}
+	a.prev = r.Target
+	a.hasPrev = true
+}
+
+// Profiles returns the per-branch summaries, most-executed first.
+func (p *Profiler) Profiles() []BranchProfile {
+	out := make([]BranchProfile, 0, len(p.branches))
+	for pc, a := range p.branches {
+		bp := BranchProfile{
+			PC:         pc,
+			Class:      a.class,
+			Executions: a.execs,
+			Targets:    len(a.counts),
+		}
+		var domCount uint64
+		for _, c := range a.counts {
+			if c > domCount {
+				domCount = c
+			}
+			f := float64(c) / float64(a.execs)
+			bp.Entropy -= f * math.Log2(f)
+		}
+		bp.DominantShare = float64(domCount) / float64(a.execs)
+		if a.execs > 1 {
+			bp.TransitionRate = float64(a.transitions) / float64(a.execs-1)
+		}
+		out = append(out, bp)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Executions != out[j].Executions {
+			return out[i].Executions > out[j].Executions
+		}
+		return out[i].PC < out[j].PC
+	})
+	return out
+}
+
+// Population summarizes a run's dynamic branch-class mix.
+type Population struct {
+	// Static branch counts per class.
+	MonomorphicStatic, LowEntropyStatic, PolymorphicStatic int
+	// Dynamic execution shares per class (fractions of MT executions).
+	MonomorphicShare, LowEntropyShare, PolymorphicShare float64
+	// MeanEntropy is the execution-weighted mean target entropy in bits.
+	MeanEntropy float64
+}
+
+// Classify aggregates the profiler's branches into the paper's three
+// populations.
+func (p *Profiler) Classify() Population {
+	var pop Population
+	var total, mono, low, poly uint64
+	var entropySum float64
+	for _, b := range p.Profiles() {
+		total += b.Executions
+		entropySum += b.Entropy * float64(b.Executions)
+		switch {
+		case b.Monomorphic():
+			pop.MonomorphicStatic++
+			mono += b.Executions
+		case b.LowEntropy():
+			pop.LowEntropyStatic++
+			low += b.Executions
+		default:
+			pop.PolymorphicStatic++
+			poly += b.Executions
+		}
+	}
+	if total > 0 {
+		pop.MonomorphicShare = float64(mono) / float64(total)
+		pop.LowEntropyShare = float64(low) / float64(total)
+		pop.PolymorphicShare = float64(poly) / float64(total)
+		pop.MeanEntropy = entropySum / float64(total)
+	}
+	return pop
+}

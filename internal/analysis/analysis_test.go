@@ -1,0 +1,131 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/trace"
+)
+
+func mt(pc, target uint64) trace.Record {
+	return trace.Record{PC: pc, Target: target, Class: trace.IndirectJmp, Taken: true, MT: true}
+}
+
+func TestMonomorphicClassification(t *testing.T) {
+	p := NewProfiler()
+	for i := 0; i < 95; i++ {
+		p.Observe(mt(0x100, 0xA0))
+	}
+	for i := 0; i < 5; i++ {
+		p.Observe(mt(0x100, 0xB0))
+	}
+	profs := p.Profiles()
+	if len(profs) != 1 {
+		t.Fatalf("%d profiles", len(profs))
+	}
+	b := profs[0]
+	if !b.Monomorphic() {
+		t.Errorf("dominant share %.2f not classified monomorphic", b.DominantShare)
+	}
+	if b.Targets != 2 || b.Executions != 100 {
+		t.Errorf("targets=%d execs=%d", b.Targets, b.Executions)
+	}
+	if b.DominantShare != 0.95 {
+		t.Errorf("dominant share = %v", b.DominantShare)
+	}
+}
+
+func TestLowEntropyClassification(t *testing.T) {
+	p := NewProfiler()
+	// Phased: 40 on A, 40 on B, 40 on C — each target heavy, but only 2
+	// transitions in 120 executions.
+	for _, tgt := range []uint64{0xA0, 0xB0, 0xC0} {
+		for i := 0; i < 40; i++ {
+			p.Observe(mt(0x100, tgt))
+		}
+	}
+	b := p.Profiles()[0]
+	if b.Monomorphic() {
+		t.Error("三-way phased branch classified monomorphic")
+	}
+	if !b.LowEntropy() {
+		t.Errorf("transition rate %.3f not classified low entropy", b.TransitionRate)
+	}
+}
+
+func TestPolymorphicClassification(t *testing.T) {
+	p := NewProfiler()
+	targets := []uint64{0xA0, 0xB0, 0xC0, 0xD0}
+	for i := 0; i < 200; i++ {
+		p.Observe(mt(0x100, targets[i%4]))
+	}
+	b := p.Profiles()[0]
+	if !b.Polymorphic() {
+		t.Errorf("cycling branch not polymorphic: dom=%.2f trans=%.2f", b.DominantShare, b.TransitionRate)
+	}
+	// Uniform 4-target distribution: entropy = 2 bits.
+	if math.Abs(b.Entropy-2) > 1e-9 {
+		t.Errorf("entropy = %v, want 2", b.Entropy)
+	}
+	if math.Abs(b.TransitionRate-1) > 1e-9 {
+		t.Errorf("transition rate = %v, want 1", b.TransitionRate)
+	}
+}
+
+func TestIgnoresNonMT(t *testing.T) {
+	p := NewProfiler()
+	p.Observe(trace.Record{PC: 0x10, Target: 0x20, Class: trace.CondDirect, Taken: true})
+	p.Observe(trace.Record{PC: 0x10, Target: 0x20, Class: trace.IndirectJsr, Taken: true, MT: false})
+	p.Observe(trace.Record{PC: 0x10, Target: 0x20, Class: trace.Return, Taken: true, MT: true})
+	if len(p.Profiles()) != 0 {
+		t.Error("profiled non-MT records")
+	}
+}
+
+func TestProfilesSorted(t *testing.T) {
+	p := NewProfiler()
+	for i := 0; i < 10; i++ {
+		p.Observe(mt(0x200, 0xA0))
+	}
+	for i := 0; i < 50; i++ {
+		p.Observe(mt(0x100, 0xB0))
+	}
+	profs := p.Profiles()
+	if profs[0].PC != 0x100 || profs[1].PC != 0x200 {
+		t.Error("profiles not sorted by execution count")
+	}
+}
+
+// TestSuitePopulationsMatchModels validates the workload models against the
+// classifications the paper attributes to each benchmark: eqn/edg are
+// monomorphic-heavy, eon/ixx are polymorphic-dominated.
+func TestSuitePopulationsMatchModels(t *testing.T) {
+	classify := func(name string) Population {
+		cfg, ok := bench.ByName(name)
+		if !ok {
+			t.Fatalf("missing run %s", name)
+		}
+		cfg.Events = 8000
+		p := NewProfiler()
+		cfg.Generate(p.Observe)
+		return p.Classify()
+	}
+	eqn := classify("eqn")
+	eon := classify("eon")
+	if eqn.MonomorphicShare < 0.3 {
+		t.Errorf("eqn monomorphic share = %.2f, expected heavy monomorphic mass", eqn.MonomorphicShare)
+	}
+	// eon's virtual calls are more polymorphic than eqn's box methods —
+	// relative, because a deterministic orbit visits each site at few
+	// positions, capping per-branch diversity.
+	if eon.PolymorphicShare <= eqn.PolymorphicShare {
+		t.Errorf("eon polymorphic share %.2f not above eqn's %.2f", eon.PolymorphicShare, eqn.PolymorphicShare)
+	}
+	if eon.MeanEntropy <= eqn.MeanEntropy {
+		t.Errorf("eon mean entropy %.2f not above eqn's %.2f", eon.MeanEntropy, eqn.MeanEntropy)
+	}
+	if pop := classify("photon"); pop.MeanEntropy <= 0 {
+		t.Error("photon mean entropy should be positive")
+	}
+}

@@ -1,0 +1,65 @@
+package bench
+
+import (
+	"repro/internal/btb"
+	"repro/internal/cascade"
+	"repro/internal/core"
+	"repro/internal/predictor"
+	"repro/internal/twolevel"
+)
+
+// Figure6Predictors returns fresh instances of the seven predictors of
+// Figure 6, each holding the paper's 2K-entry hardware budget, in the
+// figure's order.
+func Figure6Predictors() []predictor.IndirectPredictor {
+	return []predictor.IndirectPredictor{
+		btb.New(2048),
+		btb.New2b(2048),
+		twolevel.PaperGAp(),
+		twolevel.PaperTCPIB(),
+		twolevel.PaperDualPath(),
+		cascade.Paper(),
+		core.PaperHyb(),
+	}
+}
+
+// Figure7Predictors returns fresh instances of the three PPM variants of
+// Figure 7.
+func Figure7Predictors() []predictor.IndirectPredictor {
+	return []predictor.IndirectPredictor{
+		core.PaperHyb(),
+		core.PaperPIB(),
+		core.PaperHybBiased(),
+	}
+}
+
+// NewPredictor constructs a paper-configured predictor by its Figure 6/7
+// label. It returns false for unknown names.
+func NewPredictor(name string) (predictor.IndirectPredictor, bool) {
+	switch name {
+	case "BTB":
+		return btb.New(2048), true
+	case "BTB2b":
+		return btb.New2b(2048), true
+	case "GAp":
+		return twolevel.PaperGAp(), true
+	case "TC-PIB":
+		return twolevel.PaperTCPIB(), true
+	case "Dpath":
+		return twolevel.PaperDualPath(), true
+	case "Cascade":
+		return cascade.Paper(), true
+	case "PPM-hyb":
+		return core.PaperHyb(), true
+	case "PPM-PIB":
+		return core.PaperPIB(), true
+	case "PPM-hyb-biased":
+		return core.PaperHybBiased(), true
+	}
+	return nil, false
+}
+
+// PredictorNames lists every label NewPredictor accepts, in display order.
+func PredictorNames() []string {
+	return []string{"BTB", "BTB2b", "GAp", "TC-PIB", "Dpath", "Cascade", "PPM-hyb", "PPM-PIB", "PPM-hyb-biased"}
+}

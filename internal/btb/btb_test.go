@@ -1,0 +1,126 @@
+package btb
+
+import (
+	"testing"
+
+	"repro/internal/trace"
+)
+
+func TestBTBLearnsMonomorphic(t *testing.T) {
+	b := New(64)
+	const pc, target = 0x12000040, 0x14000abc
+	if _, ok := b.Predict(pc); ok {
+		t.Fatal("cold BTB produced a prediction")
+	}
+	b.Update(pc, target)
+	got, ok := b.Predict(pc)
+	if !ok || got != target {
+		t.Fatalf("Predict = (%#x,%v), want (%#x,true)", got, ok, target)
+	}
+}
+
+func TestBTBReplacesImmediately(t *testing.T) {
+	b := New(64)
+	const pc = 0x12000040
+	b.Predict(pc)
+	b.Update(pc, 0x100)
+	b.Predict(pc)
+	b.Update(pc, 0x200)
+	if got, _ := b.Predict(pc); got != 0x200 {
+		t.Fatalf("plain BTB kept stale target %#x", got)
+	}
+}
+
+func TestBTB2bHysteresis(t *testing.T) {
+	b := New2b(64)
+	const pc = 0x12000040
+	// Train target A to strong confidence.
+	for i := 0; i < 4; i++ {
+		b.Predict(pc)
+		b.Update(pc, 0xA0)
+	}
+	// One excursion to B must NOT replace A (that is BTB2b's entire point:
+	// C++ virtual calls bounce briefly and return).
+	b.Predict(pc)
+	b.Update(pc, 0xB0)
+	if got, _ := b.Predict(pc); got != 0xA0 {
+		t.Fatalf("BTB2b replaced after one miss: %#x", got)
+	}
+	// Sustained misses eventually replace.
+	for i := 0; i < 5; i++ {
+		b.Predict(pc)
+		b.Update(pc, 0xB0)
+	}
+	if got, _ := b.Predict(pc); got != 0xB0 {
+		t.Fatalf("BTB2b never adapted: %#x", got)
+	}
+}
+
+func TestBTB2bFreshEntryTwoMissReplace(t *testing.T) {
+	b := New2b(64)
+	const pc = 0x12000040
+	b.Predict(pc)
+	b.Update(pc, 0xA0) // install, weak
+	b.Predict(pc)
+	b.Update(pc, 0xB0) // miss 1
+	if got, _ := b.Predict(pc); got != 0xA0 {
+		t.Fatal("replaced after a single miss on a weak entry")
+	}
+	b.Update(pc, 0xB0) // miss 2 -> replace
+	if got, _ := b.Predict(pc); got != 0xB0 {
+		t.Fatal("not replaced after two consecutive misses")
+	}
+}
+
+func TestBTBAliasing(t *testing.T) {
+	// Tagless direct-mapped: two branches mapping to the same entry
+	// interfere — this is by design (Section 5 simulates tagless tables).
+	b := New(4)
+	pcA, pcB := uint64(0x1000), uint64(0x1000+4*4) // same index mod 4
+	b.Predict(pcA)
+	b.Update(pcA, 0xAAAA)
+	got, ok := b.Predict(pcB)
+	if !ok || got != 0xAAAA {
+		t.Fatal("aliased entry not shared in tagless BTB")
+	}
+}
+
+func TestBTBEntriesAndNames(t *testing.T) {
+	if New(2048).Entries() != 2048 || New2b(2048).Entries() != 2048 {
+		t.Error("Entries mismatch")
+	}
+	if New(8).Name() != "BTB" || New2b(8).Name() != "BTB2b" {
+		t.Error("Name mismatch")
+	}
+}
+
+func TestBTBReset(t *testing.T) {
+	b := New2b(16)
+	b.Predict(0x40)
+	b.Update(0x40, 0x999)
+	b.Reset()
+	if _, ok := b.Predict(0x40); ok {
+		t.Error("entry survived Reset")
+	}
+}
+
+func TestBTBObserveIsNoOp(t *testing.T) {
+	b := New(16)
+	b.Observe(trace.Record{PC: 0x40, Target: 0x80, Class: trace.IndirectJmp, MT: true})
+	if _, ok := b.Predict(0x40); ok {
+		t.Error("Observe trained the BTB")
+	}
+}
+
+func TestNewPanicsOnBadSize(t *testing.T) {
+	for _, n := range []int{0, -4, 3, 100} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(%d) did not panic", n)
+				}
+			}()
+			New(n)
+		}()
+	}
+}

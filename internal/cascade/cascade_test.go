@@ -1,0 +1,161 @@
+package cascade
+
+import (
+	"testing"
+
+	"repro/internal/history"
+	"repro/internal/trace"
+	"repro/internal/twolevel"
+)
+
+func smallCascade() *Cascade {
+	return New(Config{
+		Name:          "Cascade-small",
+		FilterEntries: 16,
+		Main: twolevel.DualPathConfig{
+			Selectors: 64,
+			Short: twolevel.GApConfig{
+				Entries: 64, PHTs: 1, Assoc: 4, Tagged: true,
+				PathLength: 1, BitsPerTarget: 24, HistoryBits: 24,
+				HistoryStream: history.MTIndirectBranches,
+				Indexing:      twolevel.ReverseInterleave,
+			},
+			Long: twolevel.GApConfig{
+				Entries: 64, PHTs: 1, Assoc: 4, Tagged: true,
+				PathLength: 3, BitsPerTarget: 8, HistoryBits: 24,
+				HistoryStream: history.MTIndirectBranches,
+				Indexing:      twolevel.ReverseInterleave,
+			},
+		},
+	})
+}
+
+func mtRec(pc, target uint64) trace.Record {
+	return trace.Record{PC: pc, Target: target, Class: trace.IndirectJmp, Taken: true, MT: true}
+}
+
+func TestFilterServesMonomorphic(t *testing.T) {
+	c := smallCascade()
+	const pc, target = 0x12000040, 0x14000abc
+	for i := 0; i < 50; i++ {
+		got, ok := c.Predict(pc)
+		if i > 2 && (!ok || got != target) {
+			t.Fatalf("iteration %d: Predict = (%#x,%v)", i, got, ok)
+		}
+		c.Update(pc, target)
+		c.Observe(mtRec(pc, target))
+	}
+	filterServed, mainServed, promotions := c.Stats()
+	if filterServed == 0 {
+		t.Error("monomorphic branch never served by the filter")
+	}
+	if promotions > 2 {
+		t.Errorf("monomorphic branch promoted %d times; the filter should hold it", promotions)
+	}
+	_ = mainServed
+}
+
+func TestPolymorphicPromotesToMain(t *testing.T) {
+	c := smallCascade()
+	const pc = 0x12000040
+	targets := []uint64{0x14000100, 0x14000200, 0x14000300}
+	correct, total := 0, 0
+	for i := 0; i < 3000; i++ {
+		want := targets[i%len(targets)]
+		got, ok := c.Predict(pc)
+		if i > 500 {
+			total++
+			if ok && got == want {
+				correct++
+			}
+		}
+		c.Update(pc, want)
+		c.Observe(mtRec(pc, want))
+	}
+	if acc := float64(correct) / float64(total); acc < 0.95 {
+		t.Errorf("cyclic polymorphic accuracy = %.3f, want >= 0.95 (main predictor)", acc)
+	}
+	_, mainServed, promotions := c.Stats()
+	if promotions == 0 {
+		t.Error("polymorphic branch never promoted to the main predictor")
+	}
+	if mainServed == 0 {
+		t.Error("main predictor never served the polymorphic branch")
+	}
+}
+
+func TestFilterIsolatesMonomorphicFromMain(t *testing.T) {
+	// The defining Cascade property: a monomorphic branch must not
+	// displace main-table entries a polymorphic branch relies on. Drive a
+	// polymorphic branch to steady state, then hammer a monomorphic one
+	// and confirm the polymorphic accuracy is unaffected.
+	c := smallCascade()
+	polyPC, monoPC := uint64(0x12000040), uint64(0x12000480)
+	targets := []uint64{0x14000100, 0x14000200, 0x14000300}
+	step := func(pc, want uint64) bool {
+		got, ok := c.Predict(pc)
+		c.Update(pc, want)
+		c.Observe(mtRec(pc, want))
+		return ok && got == want
+	}
+	for i := 0; i < 1000; i++ {
+		step(polyPC, targets[i%3])
+	}
+	// Interleave one monomorphic execution between polymorphic ones: the
+	// polymorphic branch's previous target stays inside the main
+	// components' path windows, so its cycle remains learnable, while the
+	// monomorphic branch adds steady table pressure.
+	correct, total := 0, 0
+	for i := 0; i < 2000; i++ {
+		step(monoPC, 0x15000040)
+		if i > 500 {
+			total++
+			if step(polyPC, targets[i%3]) {
+				correct++
+			}
+		} else {
+			step(polyPC, targets[i%3])
+		}
+	}
+	if acc := float64(correct) / float64(total); acc < 0.9 {
+		t.Errorf("polymorphic accuracy under monomorphic pressure = %.3f, want >= 0.9", acc)
+	}
+}
+
+func TestPaperConfig(t *testing.T) {
+	c := Paper()
+	if c.Name() != "Cascade" {
+		t.Errorf("Name = %q", c.Name())
+	}
+	// 128-entry filter + 2x1024 main entries.
+	if got := c.Entries(); got != 128+2048 {
+		t.Errorf("Entries = %d, want %d", got, 128+2048)
+	}
+}
+
+func TestCascadeReset(t *testing.T) {
+	c := smallCascade()
+	for i := 0; i < 20; i++ {
+		c.Predict(0x40)
+		c.Update(0x40, uint64(0x100+i*0x40))
+		c.Observe(mtRec(0x40, uint64(0x100+i*0x40)))
+	}
+	c.Reset()
+	if _, ok := c.Predict(0x40); ok {
+		t.Error("prediction survived Reset")
+	}
+	f, m, p := c.Stats()
+	// One Predict above counts nothing since it missed everywhere.
+	if f != 0 || m != 0 || p != 0 {
+		t.Errorf("stats survived Reset: %d %d %d", f, m, p)
+	}
+}
+
+func TestNewPanicsOnBadFilter(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("bad filter size did not panic")
+		}
+	}()
+	New(Config{FilterEntries: 100})
+}

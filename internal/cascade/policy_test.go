@@ -1,0 +1,95 @@
+package cascade
+
+import (
+	"testing"
+
+	"repro/internal/history"
+	"repro/internal/twolevel"
+)
+
+func policyCascade(p FilterPolicy) *Cascade {
+	cfg := Config{
+		Name:          "Cascade-" + p.String(),
+		FilterEntries: 16,
+		Policy:        p,
+		Main: twolevel.DualPathConfig{
+			Selectors: 64,
+			Short: twolevel.GApConfig{
+				Entries: 64, PHTs: 1, Assoc: 4, Tagged: true,
+				PathLength: 1, BitsPerTarget: 24, HistoryBits: 24,
+				HistoryStream: history.MTIndirectBranches,
+				Indexing:      twolevel.ReverseInterleave,
+			},
+			Long: twolevel.GApConfig{
+				Entries: 64, PHTs: 1, Assoc: 4, Tagged: true,
+				PathLength: 3, BitsPerTarget: 8, HistoryBits: 24,
+				HistoryStream: history.MTIndirectBranches,
+				Indexing:      twolevel.ReverseInterleave,
+			},
+		},
+	}
+	return New(cfg)
+}
+
+// TestStrictFilterBrandsPolymorphic: under the strict policy, a branch that
+// wobbles once never returns to the filter, even after settling.
+func TestStrictFilterBrandsPolymorphic(t *testing.T) {
+	c := policyCascade(Strict)
+	const pc = 0x12000040
+	step := func(tgt uint64) {
+		c.Predict(pc)
+		c.Update(pc, tgt)
+		c.Observe(mtRec(pc, tgt))
+	}
+	for i := 0; i < 20; i++ {
+		step(0xA0)
+	}
+	step(0xB0) // the single wobble
+	for i := 0; i < 50; i++ {
+		step(0xA0)
+	}
+	before, _, _ := c.Stats()
+	for i := 0; i < 50; i++ {
+		step(0xA0)
+	}
+	after, _, _ := c.Stats()
+	if after != before {
+		t.Errorf("strict filter served a branded-polymorphic branch (%d -> %d)", before, after)
+	}
+}
+
+// TestLeakyFilterRecaptures: the leaky policy lets the same branch settle
+// back into the filter after its wobble.
+func TestLeakyFilterRecaptures(t *testing.T) {
+	c := policyCascade(Leaky)
+	const pc = 0x12000040
+	step := func(tgt uint64) {
+		c.Predict(pc)
+		c.Update(pc, tgt)
+		c.Observe(mtRec(pc, tgt))
+	}
+	for i := 0; i < 20; i++ {
+		step(0xA0)
+	}
+	step(0xB0)
+	for i := 0; i < 50; i++ {
+		step(0xA0)
+	}
+	before, _, _ := c.Stats()
+	// Force main predictor misses by scrambling path history so the
+	// filter is consulted again.
+	for i := 0; i < 30; i++ {
+		c.Observe(mtRec(0x12999000, uint64(0x15000000+i*0x5554)))
+		step(0xA0)
+	}
+	after, _, _ := c.Stats()
+	if after == before {
+		t.Error("leaky filter never re-served the settled branch")
+	}
+}
+
+func TestPolicyString(t *testing.T) {
+	if Leaky.String() != "leaky" || Strict.String() != "strict" {
+		t.Error("policy names wrong")
+	}
+}

@@ -1,0 +1,163 @@
+package cbt
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+func mtSwitch(pc, target uint64, value uint32) trace.Record {
+	return trace.Record{PC: pc, Target: target, Class: trace.IndirectJmp, Taken: true, MT: true, Value: value}
+}
+
+func TestIdealCBTIsOptimal(t *testing.T) {
+	// With the value always available, the CBT resolves a switch whose
+	// arm sequence is random — a workload no path-based predictor can
+	// touch — after one visit per arm.
+	c := New(Config{Entries: 256, Availability: 1, Seed: 7})
+	const pc = 0x12000400
+	targets := []uint64{0x100, 0x200, 0x300, 0x400}
+	state := uint64(42)
+	correct, total := 0, 0
+	for i := 0; i < 2000; i++ {
+		state = state*6364136223846793005 + 1442695040888963407
+		arm := int(state >> 40 % 4)
+		want := targets[arm]
+		c.SetValue(uint32(arm) + 1)
+		got, ok := c.Predict(pc)
+		if i > 50 {
+			total++
+			if ok && got == want {
+				correct++
+			}
+		}
+		c.Update(pc, want)
+	}
+	if acc := float64(correct) / float64(total); acc != 1.0 {
+		t.Errorf("ideal CBT accuracy = %.4f on random switch, want 1.0", acc)
+	}
+	if c.ValueHitRate() < 0.9 {
+		t.Errorf("value hit rate = %.3f", c.ValueHitRate())
+	}
+}
+
+func TestUnavailableValueDegradesToBTB(t *testing.T) {
+	c := New(Config{Entries: 256, Availability: 0, Seed: 7})
+	const pc = 0x12000400
+	// Alternating targets: a BTB-like fallback is ~always wrong.
+	correct, total := 0, 0
+	for i := 0; i < 400; i++ {
+		want := uint64(0x100)
+		if i%2 == 1 {
+			want = 0x200
+		}
+		c.SetValue(uint32(i%2) + 1)
+		got, ok := c.Predict(pc)
+		if i > 10 {
+			total++
+			if ok && got == want {
+				correct++
+			}
+		}
+		c.Update(pc, want)
+	}
+	if acc := float64(correct) / float64(total); acc > 0.1 {
+		t.Errorf("availability-0 CBT accuracy = %.3f on alternation; should be BTB-like ~0", acc)
+	}
+	if c.ValueHitRate() != 0 {
+		t.Error("value associations used despite availability 0")
+	}
+}
+
+func TestPartialAvailability(t *testing.T) {
+	// Availability p on a random switch: accuracy approaches p (value
+	// known) plus the fallback's ~1/arms luck.
+	c := New(Config{Entries: 256, Availability: 0.6, Seed: 7})
+	const pc = 0x12000400
+	targets := []uint64{0x100, 0x200, 0x300, 0x400}
+	state := uint64(1)
+	correct, total := 0, 0
+	for i := 0; i < 6000; i++ {
+		state = state*6364136223846793005 + 1442695040888963407
+		arm := int(state >> 40 % 4)
+		c.SetValue(uint32(arm) + 1)
+		got, ok := c.Predict(pc)
+		if i > 500 {
+			total++
+			if ok && got == targets[arm] {
+				correct++
+			}
+		}
+		c.Update(pc, targets[arm])
+	}
+	acc := float64(correct) / float64(total)
+	if acc < 0.55 || acc > 0.85 {
+		t.Errorf("availability-0.6 accuracy = %.3f, expected ~0.6-0.8", acc)
+	}
+}
+
+func TestEngineIntegration(t *testing.T) {
+	// The engine forwards record values via the ValueAware hook.
+	c := New(Config{Entries: 128, Availability: 1, Seed: 3})
+	e := sim.New(c)
+	targets := []uint64{0x100, 0x200, 0x300}
+	state := uint64(5)
+	for i := 0; i < 1500; i++ {
+		state = state*6364136223846793005 + 1442695040888963407
+		arm := int(state >> 40 % 3)
+		e.Process(mtSwitch(0x12000400, targets[arm], uint32(arm)+1))
+	}
+	counters := e.Counters()[0]
+	if counters.MispredictionRatio() > 0.02 {
+		t.Errorf("CBT through engine mispredicted %.3f of a value-annotated switch", counters.MispredictionRatio())
+	}
+}
+
+func TestValuelessRecordsUseFallback(t *testing.T) {
+	c := New(Config{Entries: 128, Availability: 1, Seed: 3})
+	c.SetValue(0) // jsr-style record with no switch value
+	if _, ok := c.Predict(0x1234); ok {
+		t.Error("cold fallback predicted")
+	}
+	c.Update(0x1234, 0x9000)
+	c.SetValue(0)
+	if got, ok := c.Predict(0x1234); !ok || got != 0x9000 {
+		t.Errorf("fallback = (%#x,%v)", got, ok)
+	}
+}
+
+func TestReset(t *testing.T) {
+	c := New(Config{Entries: 128, Availability: 1, Seed: 3})
+	c.SetValue(2)
+	c.Predict(0x40)
+	c.Update(0x40, 0x100)
+	c.Reset()
+	c.SetValue(2)
+	if _, ok := c.Predict(0x40); ok {
+		t.Error("association survived Reset")
+	}
+	if c.ValueHitRate() != 0 {
+		t.Error("stats survived Reset")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	for _, cfg := range []Config{
+		{Entries: 100, Availability: 1},
+		{Entries: 128, Availability: -0.1},
+		{Entries: 128, Availability: 1.1},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("config %+v did not panic", cfg)
+				}
+			}()
+			New(cfg)
+		}()
+	}
+	if New(Config{Entries: 128, Availability: 0.25}).Name() != "CBT(p=0.25)" {
+		t.Error("default name wrong")
+	}
+}

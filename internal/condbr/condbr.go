@@ -1,0 +1,225 @@
+// Package condbr implements the Section 3 illustration of the PPM
+// algorithm: Prediction by Partial Matching over conditional branch outcome
+// bits, exactly as applied by Chen, Coffey & Mudge (ASPLOS 1996). An
+// order-m PPM predictor is a set of m+1 Markov predictors; the order-j
+// model keeps frequency counts of the bit that follows each j-bit pattern,
+// predictions come from the highest-order model whose current pattern has
+// been seen, and updates follow the update-exclusion policy.
+//
+// Simple bimodal and GAg two-level baselines are included so examples can
+// compare the PPM stack against conventional direction predictors.
+package condbr
+
+import "fmt"
+
+// Markov is the order-j frequency model over outcome bits: for each of the
+// 2^j states it counts how often a 0 or 1 followed the state's pattern.
+type Markov struct {
+	order  uint
+	counts [][2]uint32
+}
+
+// NewMarkov builds an order-j model (order 0 has a single state).
+func NewMarkov(order uint) *Markov {
+	return &Markov{order: order, counts: make([][2]uint32, 1<<order)}
+}
+
+// Order returns j.
+func (m *Markov) Order() uint { return m.order }
+
+// state extracts the model's pattern from the global history register
+// (the order low bits, most recent outcome in bit 0).
+func (m *Markov) state(hist uint64) uint64 {
+	return hist & (uint64(1)<<m.order - 1)
+}
+
+// Counts returns the (zeros, ones) frequency pair for a pattern.
+func (m *Markov) Counts(pattern uint64) (zeros, ones uint32) {
+	c := m.counts[pattern&(uint64(1)<<m.order-1)]
+	return c[0], c[1]
+}
+
+// Predict returns the majority next bit for the current pattern and whether
+// the pattern has been seen at all (non-zero frequency). Ties predict the
+// most recent convention: taken (1), matching the common hardware bias.
+func (m *Markov) Predict(hist uint64) (bit uint8, seen bool) {
+	c := m.counts[m.state(hist)]
+	if c[0] == 0 && c[1] == 0 {
+		return 0, false
+	}
+	if c[0] > c[1] {
+		return 0, true
+	}
+	return 1, true
+}
+
+// Train counts the outcome bit following the current pattern.
+func (m *Markov) Train(hist uint64, outcome uint8) {
+	c := &m.counts[m.state(hist)]
+	if c[outcome&1] < ^uint32(0) {
+		c[outcome&1]++
+	}
+}
+
+// PPM is the order-m conditional-branch PPM predictor: models of order
+// m down to 0 searched highest-first, trained with update exclusion.
+type PPM struct {
+	order  int
+	models []*Markov // models[j] has order j
+	hist   uint64
+	seen   int // outcomes observed, for warm-up-aware callers
+
+	// pending state between Predict and Update
+	pendingOrder int
+	pendingBit   uint8
+
+	accesses []uint64
+}
+
+// NewPPM builds an order-m PPM direction predictor.
+func NewPPM(order int) *PPM {
+	if order < 0 || order > 30 {
+		panic(fmt.Sprintf("condbr: order must be in [0,30], got %d", order))
+	}
+	models := make([]*Markov, order+1)
+	for j := 0; j <= order; j++ {
+		models[j] = NewMarkov(uint(j))
+	}
+	return &PPM{order: order, models: models, accesses: make([]uint64, order+1)}
+}
+
+// Name identifies the predictor.
+func (p *PPM) Name() string { return fmt.Sprintf("PPM-cond(%d)", p.order) }
+
+// Order returns m.
+func (p *PPM) Order() int { return p.order }
+
+// History returns the global outcome history register (bit 0 most recent).
+func (p *PPM) History() uint64 { return p.hist }
+
+// Model exposes the order-j Markov model.
+func (p *PPM) Model(j int) *Markov { return p.models[j] }
+
+// Predict returns the predicted direction. The order-0 model always
+// predicts once at least one outcome has been observed; before that the
+// conventional static taken prediction is returned.
+func (p *PPM) Predict() bool {
+	for j := p.order; j >= 0; j-- {
+		if bit, seen := p.models[j].Predict(p.hist); seen {
+			p.pendingOrder = j
+			p.pendingBit = bit
+			p.accesses[j]++
+			return bit == 1
+		}
+	}
+	p.pendingOrder = -1
+	p.pendingBit = 1
+	return true
+}
+
+// Update trains the stack with the actual outcome under update exclusion:
+// the deciding model and all higher orders learn; lower orders do not.
+// The history register then shifts in the outcome.
+func (p *PPM) Update(taken bool) {
+	outcome := uint8(0)
+	if taken {
+		outcome = 1
+	}
+	low := p.pendingOrder
+	if low < 0 {
+		low = 0
+	}
+	for j := low; j <= p.order; j++ {
+		// An order-j state only exists once j real outcomes have been
+		// observed; training on zero-padded warm-up history would
+		// fabricate states the input never contained (cf. Figure 1,
+		// which shows exactly the patterns present in the sequence).
+		if p.seen >= j {
+			p.models[j].Train(p.hist, outcome)
+		}
+	}
+	p.hist = p.hist<<1 | uint64(outcome)
+	p.seen++
+}
+
+// Accesses returns how many predictions each order supplied.
+func (p *PPM) Accesses() []uint64 { return p.accesses }
+
+// Bimodal is the classic per-branch 2-bit counter predictor, provided as a
+// baseline for the examples.
+type Bimodal struct {
+	table []uint8
+}
+
+// NewBimodal builds a bimodal predictor with `entries` counters (power of
+// two), initialized weakly taken.
+func NewBimodal(entries int) *Bimodal {
+	if entries <= 0 || entries&(entries-1) != 0 {
+		panic(fmt.Sprintf("condbr: entries must be a positive power of two, got %d", entries))
+	}
+	t := make([]uint8, entries)
+	for i := range t {
+		t[i] = 2
+	}
+	return &Bimodal{table: t}
+}
+
+// Predict returns the predicted direction for the branch at pc.
+func (b *Bimodal) Predict(pc uint64) bool {
+	return b.table[(pc>>2)&uint64(len(b.table)-1)] >= 2
+}
+
+// Update trains the counter for pc with the actual direction.
+func (b *Bimodal) Update(pc uint64, taken bool) {
+	c := &b.table[(pc>>2)&uint64(len(b.table)-1)]
+	if taken {
+		if *c < 3 {
+			*c++
+		}
+	} else if *c > 0 {
+		*c--
+	}
+}
+
+// GAg is a two-level adaptive predictor with a global history register and
+// a global pattern history table of 2-bit counters (Yeh & Patt).
+type GAg struct {
+	histBits uint
+	hist     uint64
+	table    []uint8
+}
+
+// NewGAg builds a GAg with the given history length; the PHT has 2^histBits
+// counters.
+func NewGAg(histBits uint) *GAg {
+	if histBits == 0 || histBits > 24 {
+		panic(fmt.Sprintf("condbr: history bits must be in [1,24], got %d", histBits))
+	}
+	t := make([]uint8, 1<<histBits)
+	for i := range t {
+		t[i] = 2
+	}
+	return &GAg{histBits: histBits, table: t}
+}
+
+// Predict returns the predicted direction.
+func (g *GAg) Predict() bool {
+	return g.table[g.hist&(uint64(1)<<g.histBits-1)] >= 2
+}
+
+// Update trains the PHT and shifts the outcome into the history register.
+func (g *GAg) Update(taken bool) {
+	c := &g.table[g.hist&(uint64(1)<<g.histBits-1)]
+	if taken {
+		if *c < 3 {
+			*c++
+		}
+	} else if *c > 0 {
+		*c--
+	}
+	bit := uint64(0)
+	if taken {
+		bit = 1
+	}
+	g.hist = g.hist<<1 | bit
+}

@@ -1,0 +1,222 @@
+package condbr
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// feed drives the PPM with a bit string ('0'/'1').
+func feed(p *PPM, seq string) {
+	for _, ch := range seq {
+		p.Predict()
+		p.Update(ch == '1')
+	}
+}
+
+// TestFigure1WorkedExample reproduces the paper's Figure 1 exactly: after
+// the input sequence 01010110101, the 3rd-order model's state 101 has seen
+// 010 twice and 011 once, so the PPM predicts 0.
+func TestFigure1WorkedExample(t *testing.T) {
+	p := NewPPM(3)
+	feed(p, "01010110101")
+	m := p.Model(3)
+	zeros, ones := m.Counts(0b101)
+	if zeros != 2 || ones != 1 {
+		t.Fatalf("state 101 counts = (0:%d, 1:%d), want (0:2, 1:1)", zeros, ones)
+	}
+	if p.Predict() {
+		t.Fatal("PPM predicted 1 after 01010110101; the paper's worked example predicts 0")
+	}
+	// 3rd-order model has recorded 4 of the 8 possible states (Figure 1).
+	active := 0
+	for pattern := uint64(0); pattern < 8; pattern++ {
+		z, o := m.Counts(pattern)
+		if z+o > 0 {
+			active++
+		}
+	}
+	if active != 4 {
+		t.Errorf("3rd-order model has %d active states, Figure 1 shows 4", active)
+	}
+}
+
+func TestMarkovUnseenStateFallsThrough(t *testing.T) {
+	p := NewPPM(3)
+	feed(p, "111") // history now 111, only low-order states trained
+	// Model 3 has seen nothing after pattern 111 (first occurrence was the
+	// end of input), but order 0 must always answer once trained.
+	if !p.Predict() {
+		t.Error("all-ones history should predict taken")
+	}
+	acc := p.Accesses()
+	var total uint64
+	for _, a := range acc {
+		total += a
+	}
+	if total == 0 {
+		t.Error("no accesses recorded")
+	}
+}
+
+func TestPPMLearnsAlternation(t *testing.T) {
+	p := NewPPM(4)
+	correct, total := 0, 0
+	for i := 0; i < 400; i++ {
+		want := i%2 == 1
+		got := p.Predict()
+		if i > 50 {
+			total++
+			if got == want {
+				correct++
+			}
+		}
+		p.Update(want)
+	}
+	if acc := float64(correct) / float64(total); acc < 0.99 {
+		t.Errorf("alternation accuracy = %.3f, want >= 0.99", acc)
+	}
+}
+
+func TestPPMLearnsLongPattern(t *testing.T) {
+	// Period-6 pattern needs order >= 5 to disambiguate; PPM(8) gets it,
+	// a bimodal cannot.
+	pattern := []bool{true, true, false, true, false, false}
+	p := NewPPM(8)
+	b := NewBimodal(16)
+	pCorrect, bCorrect, total := 0, 0, 0
+	for i := 0; i < 1200; i++ {
+		want := pattern[i%len(pattern)]
+		pg := p.Predict()
+		bg := b.Predict(0x1000)
+		if i > 200 {
+			total++
+			if pg == want {
+				pCorrect++
+			}
+			if bg == want {
+				bCorrect++
+			}
+		}
+		p.Update(want)
+		b.Update(0x1000, want)
+	}
+	pAcc := float64(pCorrect) / float64(total)
+	bAcc := float64(bCorrect) / float64(total)
+	if pAcc < 0.99 {
+		t.Errorf("PPM period-6 accuracy = %.3f, want >= 0.99", pAcc)
+	}
+	if bAcc >= pAcc {
+		t.Errorf("bimodal (%.3f) matched PPM (%.3f) on a deep pattern", bAcc, pAcc)
+	}
+}
+
+func TestUpdateExclusion(t *testing.T) {
+	p := NewPPM(2)
+	feed(p, "0101")
+	// History is 0101; order-2 state 01 decided the last prediction (it
+	// has been trained). Capture order-0 counts, run one more step where
+	// order 2 decides, and verify order 0 was excluded from the update.
+	z0Before, o0Before := p.Model(0).Counts(0)
+	p.Predict()
+	p.Update(false)
+	z0After, o0After := p.Model(0).Counts(0)
+	if z0Before != z0After || o0Before != o0After {
+		t.Errorf("order-0 model updated while a higher order decided: (%d,%d) -> (%d,%d)",
+			z0Before, o0Before, z0After, o0After)
+	}
+	// The deciding order-2 state must have been updated.
+	z2, _ := p.Model(2).Counts(p.History() >> 1 & 3)
+	if z2 == 0 {
+		t.Error("deciding model not updated")
+	}
+}
+
+func TestGAgLearnsGlobalPattern(t *testing.T) {
+	g := NewGAg(8)
+	correct, total := 0, 0
+	pattern := []bool{true, false, false, true}
+	for i := 0; i < 800; i++ {
+		want := pattern[i%len(pattern)]
+		got := g.Predict()
+		if i > 100 {
+			total++
+			if got == want {
+				correct++
+			}
+		}
+		g.Update(want)
+	}
+	if acc := float64(correct) / float64(total); acc < 0.99 {
+		t.Errorf("GAg pattern accuracy = %.3f, want >= 0.99", acc)
+	}
+}
+
+func TestBimodalBias(t *testing.T) {
+	b := NewBimodal(16)
+	if !b.Predict(0x40) {
+		t.Error("fresh bimodal should weakly predict taken")
+	}
+	b.Update(0x40, false)
+	b.Update(0x40, false)
+	if b.Predict(0x40) {
+		t.Error("bimodal did not learn not-taken")
+	}
+}
+
+func TestMarkovCountsSaturate(t *testing.T) {
+	m := NewMarkov(0)
+	for i := 0; i < 10; i++ {
+		m.Train(0, 1)
+	}
+	_, ones := m.Counts(0)
+	if ones != 10 {
+		t.Errorf("ones = %d, want 10", ones)
+	}
+}
+
+func TestPPMAccessesAttribution(t *testing.T) {
+	p := NewPPM(3)
+	feed(p, "0101010101")
+	acc := p.Accesses()
+	if len(acc) != 4 {
+		t.Fatalf("accesses len = %d, want 4", len(acc))
+	}
+	if acc[3] == 0 {
+		t.Error("order-3 never supplied a prediction on a learnable pattern")
+	}
+}
+
+func TestPPMPredictUpdateNeverPanics(t *testing.T) {
+	f := func(bits []bool, orderRaw uint8) bool {
+		p := NewPPM(int(orderRaw % 12))
+		for _, b := range bits {
+			p.Predict()
+			p.Update(b)
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestConstructorsValidate(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewPPM(-1) },
+		func() { NewBimodal(3) },
+		func() { NewGAg(0) },
+		func() { NewGAg(30) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("invalid constructor arg did not panic")
+				}
+			}()
+			f()
+		}()
+	}
+	if NewPPM(5).Name() == "" || NewPPM(5).Order() != 5 {
+		t.Error("PPM metadata wrong")
+	}
+}

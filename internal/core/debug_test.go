@@ -1,0 +1,37 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// TestPPMLearnsCycle feeds a single branch that cycles deterministically
+// through 8 targets; after warm-up, PIB path history of order 1 determines
+// the next target exactly, so every PPM variant must converge to near-
+// perfect accuracy.
+func TestPPMLearnsCycle(t *testing.T) {
+	targets := make([]uint64, 8)
+	for i := range targets {
+		targets[i] = 0x14000000 + uint64(i)*0x2c4 // 4-byte aligned, scattered
+	}
+	for _, p := range []*PPM{PaperHyb(), PaperPIB(), PaperHybBiased()} {
+		correct, total := 0, 0
+		for i := 0; i < 4000; i++ {
+			want := targets[i%len(targets)]
+			got, ok := p.Predict(0x12000400)
+			if i > 200 {
+				total++
+				if ok && got == want {
+					correct++
+				}
+			}
+			p.Update(0x12000400, want)
+			p.Observe(trace.Record{PC: 0x12000400, Target: want, Class: trace.IndirectJmp, Taken: true, MT: true})
+		}
+		acc := float64(correct) / float64(total)
+		if acc < 0.99 {
+			t.Errorf("%s: accuracy %.3f on deterministic cycle, want >= 0.99", p.Name(), acc)
+		}
+	}
+}

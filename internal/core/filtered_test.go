@@ -1,0 +1,144 @@
+package core
+
+import "testing"
+
+func TestFilteredPPMMonomorphicStaysInFilter(t *testing.T) {
+	f := PaperFiltered()
+	const pc, target = 0x12000040, 0x14000ab0
+	for i := 0; i < 200; i++ {
+		got, ok := f.Predict(pc)
+		if i > 3 && (!ok || got != target) {
+			t.Fatalf("iteration %d: (%#x,%v)", i, got, ok)
+		}
+		f.Update(pc, target)
+		f.Observe(mtJmp(pc, target))
+	}
+	// The Markov stack must stay almost empty: the filter handled it.
+	occ := 0
+	for _, tab := range f.PPM().Tables() {
+		occ += tab.Occupancy()
+	}
+	if occ > 60 {
+		t.Errorf("monomorphic branch left %d Markov entries; filter leaked", occ)
+	}
+	served, _ := f.Stats()
+	if served == 0 {
+		t.Error("filter never served")
+	}
+}
+
+func TestFilteredPPMPolymorphicUsesPPM(t *testing.T) {
+	f := PaperFiltered()
+	const pc = 0x12000040
+	targets := []uint64{0x14000100, 0x14000220, 0x14000340}
+	correct, total := 0, 0
+	for i := 0; i < 3000; i++ {
+		want := targets[i%3]
+		got, ok := f.Predict(pc)
+		if i > 500 {
+			total++
+			if ok && got == want {
+				correct++
+			}
+		}
+		f.Update(pc, want)
+		f.Observe(mtJmp(pc, want))
+	}
+	if acc := float64(correct) / float64(total); acc < 0.97 {
+		t.Errorf("cyclic accuracy = %.3f, want >= 0.97", acc)
+	}
+	_, ppmServed := f.Stats()
+	if ppmServed == 0 {
+		t.Error("PPM never served a polymorphic branch")
+	}
+}
+
+// TestFilteredPPMProtectsCorrelatedBranches reproduces the displacement
+// scenario the paper describes: monomorphic branches feeding the Markov
+// tables evict strongly correlated entries. With the filter, the
+// correlated branch's accuracy must not collapse under monomorphic load.
+func TestFilteredPPMProtectsCorrelatedBranches(t *testing.T) {
+	run := func(filtered bool) float64 {
+		var p interface {
+			Predict(uint64) (uint64, bool)
+			Update(uint64, uint64)
+			Observe(r interface{ MTIndirect() bool })
+		}
+		_ = p
+		base := PaperPIB()
+		var step func(pc, want uint64) bool
+		if filtered {
+			f := NewFiltered(base, 128)
+			step = func(pc, want uint64) bool {
+				got, ok := f.Predict(pc)
+				f.Update(pc, want)
+				f.Observe(mtJmp(pc, want))
+				return ok && got == want
+			}
+		} else {
+			step = func(pc, want uint64) bool {
+				got, ok := base.Predict(pc)
+				base.Update(pc, want)
+				base.Observe(mtJmp(pc, want))
+				return ok && got == want
+			}
+		}
+		targets := []uint64{0x14000100, 0x14000220, 0x14000340, 0x14000460}
+		correct, total := 0, 0
+		state := uint64(99)
+		for i := 0; i < 4000; i++ {
+			// A crowd of monomorphic branches at rotating addresses
+			// floods the tables between correlated executions.
+			for m := 0; m < 3; m++ {
+				state = state*6364136223846793005 + 1442695040888963407
+				monoPC := 0x13000000 + (state>>33)%512*0x40
+				monoTgt := 0x15000000 + (monoPC&0xffff)*4
+				step(monoPC, monoTgt)
+			}
+			if i > 1000 {
+				total++
+				if step(0x12000040, targets[i%4]) {
+					correct++
+				}
+			} else {
+				step(0x12000040, targets[i%4])
+			}
+		}
+		return float64(correct) / float64(total)
+	}
+	plain := run(false)
+	filtered := run(true)
+	if filtered < plain {
+		t.Errorf("filter did not help: plain %.3f vs filtered %.3f", plain, filtered)
+	}
+}
+
+func TestFilteredPPMBudgetAndName(t *testing.T) {
+	f := PaperFiltered()
+	if f.Entries() != 128+2047 {
+		t.Errorf("Entries = %d", f.Entries())
+	}
+	if f.Name() != "PPM-hyb+filter" {
+		t.Errorf("Name = %q", f.Name())
+	}
+}
+
+func TestFilteredPPMReset(t *testing.T) {
+	f := PaperFiltered()
+	f.Predict(0x40)
+	f.Update(0x40, 0x1000)
+	f.Observe(mtJmp(0x40, 0x1000))
+	f.Reset()
+	if _, ok := f.Predict(0x40); ok {
+		t.Error("prediction survived Reset")
+	}
+}
+
+func TestNewFilteredPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("bad filter size did not panic")
+		}
+	}()
+	NewFiltered(PaperHyb(), 100)
+}

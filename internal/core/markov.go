@@ -1,0 +1,99 @@
+// Package core implements the paper's contribution: a Prediction-by-
+// Partial-Matching (PPM) indirect branch target predictor. An order-m PPM
+// predictor is a stack of m+1 Markov predictors; the order-j component is a
+// tagless (optionally tagged) table of 2^j entries indexed by the SFSXS
+// hash of the j most recent path-history targets (Figure 2). Each entry
+// holds the most recently visited target for its merged Markov state, a
+// valid bit (non-zero frequency count), and the 2-bit up/down counter that
+// replaces the target only after two consecutive misses (Figure 3).
+//
+// The hybrid variants add the dynamic per-branch correlation selection of
+// Figure 4: a BIU-resident 2-bit counter per branch picks between the PB
+// (all-branch) and PIB (indirect-only) path history registers, following
+// either of the Figure 5 state machines.
+package core
+
+import (
+	"repro/internal/counter"
+)
+
+// markovEntry is one merged Markov state.
+type markovEntry struct {
+	valid  bool
+	tag    uint32
+	target uint64
+	hyst   counter.Hysteresis
+}
+
+// MarkovTable is the order-j component: 2^order entries.
+type MarkovTable struct {
+	order   uint
+	entries []markovEntry
+	tagged  bool
+}
+
+// NewMarkovTable builds the order-j table with 2^order entries.
+func NewMarkovTable(order uint, tagged bool) *MarkovTable {
+	return &MarkovTable{
+		order:   order,
+		entries: make([]markovEntry, 1<<order),
+		tagged:  tagged,
+	}
+}
+
+// Order returns the Markov order of the table.
+func (t *MarkovTable) Order() uint { return t.order }
+
+// Len returns the entry count (2^order).
+func (t *MarkovTable) Len() int { return len(t.entries) }
+
+// lookup returns the entry at idx if it is valid and (when tagged) the tag
+// matches; otherwise nil. The valid bit stands in for a non-zero frequency
+// count of the underlying Markov state.
+func (t *MarkovTable) lookup(idx uint64, tag uint32) *markovEntry {
+	e := &t.entries[idx&uint64(len(t.entries)-1)]
+	if !e.valid {
+		return nil
+	}
+	if t.tagged && e.tag != tag {
+		return nil
+	}
+	return e
+}
+
+// train applies the update step to the entry at idx: allocate if invalid
+// (or tag-conflicting in tagged mode), strengthen on a target hit, weaken
+// and replace-after-two-misses otherwise.
+func (t *MarkovTable) train(idx uint64, tag uint32, target uint64) {
+	e := &t.entries[idx&uint64(len(t.entries)-1)]
+	if !e.valid || (t.tagged && e.tag != tag) {
+		*e = markovEntry{valid: true, tag: tag, target: target, hyst: counter.NewHysteresis()}
+		return
+	}
+	if e.target == target {
+		e.hyst.OnHit()
+		return
+	}
+	if e.hyst.OnMiss() {
+		e.target = target
+	}
+}
+
+// reset clears the table to power-up state.
+func (t *MarkovTable) reset() {
+	for i := range t.entries {
+		t.entries[i] = markovEntry{}
+	}
+}
+
+// Occupancy returns the number of valid entries, for table-pressure
+// diagnostics.
+func (t *MarkovTable) Occupancy() int {
+	n := 0
+	for i := range t.entries {
+		if t.entries[i].valid {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,125 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/predictor"
+)
+
+func TestMultiPPMLearnsCycle(t *testing.T) {
+	m := NewMultiTarget(10, 4)
+	targets := []uint64{0x14000af4, 0x1400b128, 0x1400c75c}
+	correct, total := 0, 0
+	for i := 0; i < 3000; i++ {
+		want := targets[i%3]
+		got, ok := m.Predict(0x12000400)
+		if i > 300 {
+			total++
+			if ok && got == want {
+				correct++
+			}
+		}
+		m.Update(0x12000400, want)
+		m.Observe(mtJmp(0x12000400, want))
+	}
+	if acc := float64(correct) / float64(total); acc < 0.99 {
+		t.Errorf("multi-target PPM accuracy on cycle = %.3f", acc)
+	}
+}
+
+func TestMultiMarkovMajorityVote(t *testing.T) {
+	tab := NewMultiMarkovTable(3, 2)
+	// Target A observed 3 times, B once: majority is A.
+	for i := 0; i < 3; i++ {
+		tab.train(5, 0xA0)
+	}
+	tab.train(5, 0xB0)
+	got, ok := tab.lookup(5)
+	if !ok || got != 0xA0 {
+		t.Fatalf("majority vote = (%#x,%v), want A", got, ok)
+	}
+	// A most-recent-target entry would now predict B; the frequency
+	// organisation resists the single excursion.
+	single := NewMarkovTable(3, false)
+	for i := 0; i < 3; i++ {
+		single.train(5, 0, 0xA0)
+	}
+	single.train(5, 0, 0xB0) // one miss: hysteresis protects A here too
+	single.train(5, 0, 0xB0)
+	single.train(5, 0, 0xB0)
+	single.train(5, 0, 0xB0) // sustained: replaced
+	if e := single.lookup(5, 0); e == nil || e.target != 0xB0 {
+		t.Fatal("single-target entry should have adapted to B")
+	}
+	// The frequency entry needs B to out-count A.
+	if got, _ := tab.lookup(5); got != 0xA0 {
+		t.Fatal("frequency entry flipped too early")
+	}
+}
+
+func TestMultiMarkovSlotReplacement(t *testing.T) {
+	tab := NewMultiMarkovTable(2, 2)
+	tab.train(1, 0xA0)
+	tab.train(1, 0xA0)
+	tab.train(1, 0xB0)
+	tab.train(1, 0xC0) // evicts the lowest-count slot (B)
+	got, _ := tab.lookup(1)
+	if got != 0xA0 {
+		t.Errorf("majority after replacement = %#x, want A", got)
+	}
+}
+
+func TestMultiMarkovCountAging(t *testing.T) {
+	tab := NewMultiMarkovTable(1, 2)
+	for i := 0; i < 40; i++ {
+		tab.train(0, 0xA0) // saturates and halves repeatedly without panic
+	}
+	tab.train(0, 0xB0)
+	if got, ok := tab.lookup(0); !ok || got != 0xA0 {
+		t.Errorf("aging broke majority: %#x", got)
+	}
+}
+
+func TestMultiPPMEntriesAndReset(t *testing.T) {
+	m := NewMultiTarget(8, 4)
+	if m.Entries() != 4*510+1 {
+		t.Errorf("Entries = %d, want %d", m.Entries(), 4*510+1)
+	}
+	m.Predict(0x40)
+	m.Update(0x40, 0x14000010)
+	m.Observe(mtJmp(0x40, 0x14000010))
+	m.Reset()
+	if _, ok := m.Predict(0x40); ok {
+		t.Error("prediction survived Reset")
+	}
+}
+
+func TestBitsAccounting(t *testing.T) {
+	// The paper's tagless designs all land near 8 KiB; Cascade's tags
+	// roughly double it.
+	costs := map[string]int{}
+	for _, build := range []predictor.IndirectPredictor{PaperHyb(), PaperPIB()} {
+		c, ok := build.(predictor.Costed)
+		if !ok {
+			t.Fatalf("%s not Costed", build.Name())
+		}
+		costs[build.Name()] = c.Bits()
+	}
+	if costs["PPM-hyb"] <= costs["PPM-PIB"] {
+		t.Error("hybrid (two PHRs) should cost more bits than PIB-only")
+	}
+	// Order-10 stack: 2047 entries x 33 bits + PHRs.
+	want := 2047*33 + 200
+	if costs["PPM-hyb"] != want {
+		t.Errorf("PPM-hyb bits = %d, want %d", costs["PPM-hyb"], want)
+	}
+}
+
+func TestNewMultiTargetPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("k=0 did not panic")
+		}
+	}()
+	NewMultiMarkovTable(3, 0)
+}

@@ -1,0 +1,374 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/counter"
+	"repro/internal/hashing"
+	"repro/internal/history"
+	"repro/internal/predictor"
+	"repro/internal/trace"
+)
+
+// Mode selects which of the paper's three PPM variants a predictor runs as.
+type Mode uint8
+
+const (
+	// PIBOnly is the PPM-PIB variant: a single PIB path history register,
+	// one level of table access (no BIU selection).
+	PIBOnly Mode = iota
+	// Hybrid is PPM-hyb: two PHRs (PB and PIB) with dynamic per-branch
+	// selection via normal-mode 2-bit counters in the BIU (Figure 4).
+	Hybrid
+	// HybridBiased is PPM-hyb-biased: like Hybrid but the selection
+	// counters follow the PIB-biased state machine of Figure 5.
+	HybridBiased
+)
+
+// String names the mode using the paper's labels.
+func (m Mode) String() string {
+	switch m {
+	case PIBOnly:
+		return "PPM-PIB"
+	case Hybrid:
+		return "PPM-hyb"
+	case HybridBiased:
+		return "PPM-hyb-biased"
+	}
+	return fmt.Sprintf("Mode(%d)", uint8(m))
+}
+
+// Config parameterizes a PPM predictor. The zero value is not valid; start
+// from DefaultConfig or one of the Paper* constructors.
+type Config struct {
+	// Name overrides the mode-derived predictor name.
+	Name string
+	// Order is m: the number of Markov tables (orders 1..m) above the
+	// single-entry order-0 component. The paper uses 10.
+	Order int
+	// TargetBits is the number of low-order bits selected from each
+	// recorded target (10 in the paper).
+	TargetBits uint
+	// FoldBits is the folded width per target in the SFSXS hash (5).
+	FoldBits uint
+	// Mode selects the variant.
+	Mode Mode
+	// LowSelect switches SFSXS to the low-order-bit select alternative
+	// mentioned in Section 4.
+	LowSelect bool
+	// BIULimit bounds the BIU entry count (0 = infinite, as the paper
+	// assumes). Only meaningful for the hybrid modes.
+	BIULimit int
+	// Tagged enables the tagged-Markov-table extension the paper lists
+	// as future work: entries carry a per-branch tag and only predict on
+	// a tag match, trading capacity for collision immunity.
+	Tagged bool
+	// ConfidenceThreshold, when non-zero, implements the future-work
+	// "confidence on the prediction of different Markov components":
+	// a component only supplies the prediction if its entry's 2-bit
+	// counter value is >= the threshold; otherwise lookup falls through
+	// to the next lower order.
+	ConfidenceThreshold uint8
+}
+
+// DefaultConfig returns the paper's order-10 configuration in the given
+// mode: 10 Markov tables sized 2^1..2^10 (2046 entries) plus the order-0
+// component, two 100-bit PHRs (10 targets x 10 low-order bits), SFSXS
+// indexing with 5-bit folds.
+func DefaultConfig(mode Mode) Config {
+	return Config{
+		Order:      10,
+		TargetBits: 10,
+		FoldBits:   5,
+		Mode:       mode,
+	}
+}
+
+func (c Config) validate() error {
+	if c.Order < 1 || c.Order > 20 {
+		return fmt.Errorf("core: order must be in [1,20], got %d", c.Order)
+	}
+	if c.TargetBits == 0 || c.TargetBits > 32 {
+		return fmt.Errorf("core: target bits must be in [1,32], got %d", c.TargetBits)
+	}
+	if c.FoldBits == 0 || c.FoldBits > c.TargetBits {
+		return fmt.Errorf("core: fold bits must be in [1,%d], got %d", c.TargetBits, c.FoldBits)
+	}
+	return nil
+}
+
+// ComponentStats records the distribution of accesses and misses across the
+// Markov components, the Section 5 measurement showing that at least 98% of
+// accesses land in the highest-order component. Index i covers order i;
+// index Order+1 ("none") counts lookups where no component could predict.
+type ComponentStats struct {
+	Accesses []uint64 // [order+2]: orders 0..m, then none
+	Misses   []uint64
+}
+
+func newComponentStats(order int) ComponentStats {
+	return ComponentStats{
+		Accesses: make([]uint64, order+2),
+		Misses:   make([]uint64, order+2),
+	}
+}
+
+// PPM is the paper's indirect-branch target predictor.
+type PPM struct {
+	cfg    Config
+	tables []*MarkovTable // tables[j-1] has order j
+	zero   markovEntry    // the order-0 component: most recent MT target
+	pb     *history.PHR
+	pib    *history.PHR
+	biu    *predictor.BIU
+
+	scratch []uint64
+	pending struct {
+		pc      uint64
+		indices []uint64
+		tag     uint32
+		chosen  int // order that supplied the prediction; -1 = none
+		target  uint64
+		ok      bool
+		sel     *predictor.BIUEntry
+	}
+
+	stats ComponentStats
+}
+
+// New builds a PPM predictor from cfg. Panics on invalid configuration,
+// which is a programming error for this repository's fixed experiment set.
+func New(cfg Config) *PPM {
+	if err := cfg.validate(); err != nil {
+		panic(err)
+	}
+	tables := make([]*MarkovTable, cfg.Order)
+	for j := 1; j <= cfg.Order; j++ {
+		tables[j-1] = NewMarkovTable(uint(j), cfg.Tagged)
+	}
+	mode := counter.Normal
+	if cfg.Mode == HybridBiased {
+		mode = counter.PIBBiased
+	}
+	p := &PPM{
+		cfg:     cfg,
+		tables:  tables,
+		pb:      history.New(history.AllBranches, cfg.Order, cfg.TargetBits, 0),
+		pib:     history.New(history.IndirectBranches, cfg.Order, cfg.TargetBits, 0),
+		biu:     predictor.NewBIU(mode, cfg.BIULimit),
+		scratch: make([]uint64, 0, cfg.Order),
+		stats:   newComponentStats(cfg.Order),
+	}
+	p.pending.indices = make([]uint64, cfg.Order+1)
+	return p
+}
+
+// PaperHyb returns the PPM-hyb configuration of Section 5.
+func PaperHyb() *PPM { return New(DefaultConfig(Hybrid)) }
+
+// PaperPIB returns the PPM-PIB configuration (single PIB history, one level
+// of table access).
+func PaperPIB() *PPM { return New(DefaultConfig(PIBOnly)) }
+
+// PaperHybBiased returns the PPM-hyb-biased configuration.
+func PaperHybBiased() *PPM { return New(DefaultConfig(HybridBiased)) }
+
+// Name implements predictor.IndirectPredictor.
+func (p *PPM) Name() string {
+	if p.cfg.Name != "" {
+		return p.cfg.Name
+	}
+	return p.cfg.Mode.String()
+}
+
+// Config returns the predictor's configuration.
+func (p *PPM) Config() Config { return p.cfg }
+
+// Entries implements predictor.Sized: 2^1+...+2^m Markov entries plus the
+// order-0 entry (2047 for the paper's order-10 budget).
+func (p *PPM) Entries() int {
+	n := 1 // order-0
+	for _, t := range p.tables {
+		n += t.Len()
+	}
+	return n
+}
+
+// Order returns m.
+func (p *PPM) Order() int { return p.cfg.Order }
+
+// BIU exposes the branch identification unit (e.g. for eviction stats).
+func (p *PPM) BIU() *predictor.BIU { return p.biu }
+
+// selectHistory returns the PHR the branch at pc should use, consulting the
+// BIU selection counter in the hybrid modes.
+func (p *PPM) selectHistory(pc uint64) (*history.PHR, *predictor.BIUEntry) {
+	if p.cfg.Mode == PIBOnly {
+		return p.pib, nil
+	}
+	e := p.biu.Ensure(pc)
+	if e.Sel.Selected() == counter.PB {
+		return p.pb, e
+	}
+	return p.pib, e
+}
+
+func (p *PPM) index(recent []uint64, order uint) uint64 {
+	if p.cfg.LowSelect {
+		return hashing.SFSXSLow(recent, p.cfg.TargetBits, p.cfg.FoldBits, order)
+	}
+	return hashing.SFSXS(recent, p.cfg.TargetBits, p.cfg.FoldBits, order)
+}
+
+// Predict implements predictor.IndirectPredictor: all Markov components are
+// accessed in parallel with their per-order SFSXS indices and the valid
+// entry of the highest order supplies the target (Figure 3's buffer chain).
+func (p *PPM) Predict(pc uint64) (uint64, bool) {
+	phr, sel := p.selectHistory(pc)
+	recent := phr.Recent(p.scratch[:0], p.cfg.Order)
+	tag := uint32(hashing.Mix64(pc>>2) >> 48)
+
+	pd := &p.pending
+	pd.pc = pc
+	pd.tag = tag
+	pd.sel = sel
+	pd.chosen = -1
+	pd.ok = false
+	pd.target = 0
+
+	for j := p.cfg.Order; j >= 1; j-- {
+		idx := p.index(recent, uint(j))
+		pd.indices[j] = idx
+		if pd.ok {
+			continue
+		}
+		if e := p.tables[j-1].lookup(idx, tag); e != nil && e.hyst.Value() >= p.cfg.ConfidenceThreshold {
+			pd.chosen = j
+			pd.target = e.target
+			pd.ok = true
+		}
+	}
+	if !pd.ok && p.zero.valid {
+		pd.chosen = 0
+		pd.target = p.zero.target
+		pd.ok = true
+	}
+	if pd.ok {
+		p.stats.Accesses[pd.chosen]++
+	} else {
+		p.stats.Accesses[p.cfg.Order+1]++
+	}
+	return pd.target, pd.ok
+}
+
+// Update implements predictor.IndirectPredictor. The update-exclusion
+// policy of Chen et al. is applied: only the component that supplied the
+// prediction and every higher-order component are trained; lower orders are
+// left untouched. The PHRs advance in Observe, after Update, so tables are
+// trained against the history state used at prediction time.
+func (p *PPM) Update(pc, target uint64) { p.UpdateAlloc(pc, target, true) }
+
+// UpdateAlloc resolves the pending prediction like Update but lets a
+// filtering front end (see FilteredPPM) suppress training of the Markov
+// tables for branches it has decided to keep out of them; accounting and
+// the correlation-selection counter still advance.
+func (p *PPM) UpdateAlloc(_, target uint64, train bool) {
+	pd := &p.pending
+	correct := pd.ok && pd.target == target
+	if !correct {
+		if pd.ok {
+			p.stats.Misses[pd.chosen]++
+		} else {
+			p.stats.Misses[p.cfg.Order+1]++
+		}
+	}
+
+	if train {
+		low := pd.chosen
+		if low < 0 {
+			low = 0 // nothing predicted: every component learns the branch
+		}
+		for j := p.cfg.Order; j >= 1 && j >= low; j-- {
+			p.tables[j-1].train(pd.indices[j], pd.tag, target)
+		}
+		if low == 0 {
+			trainZero(&p.zero, target)
+		}
+	}
+
+	if pd.sel != nil {
+		pd.sel.Sel.Update(correct)
+	}
+}
+
+// PredictedValid reports whether the most recent Predict call produced a
+// prediction, for filtering front ends.
+func (p *PPM) PredictedValid() bool { return p.pending.ok }
+
+func trainZero(e *markovEntry, target uint64) {
+	if !e.valid {
+		*e = markovEntry{valid: true, target: target, hyst: counter.NewHysteresis()}
+		return
+	}
+	if e.target == target {
+		e.hyst.OnHit()
+		return
+	}
+	if e.hyst.OnMiss() {
+		e.target = target
+	}
+}
+
+// Observe implements predictor.IndirectPredictor: the actual target of
+// every committed branch is shifted into the PB register, indirect jmp/jsr
+// targets also into the PIB register, and the BIU learns annotation bits.
+func (p *PPM) Observe(r trace.Record) {
+	if p.cfg.Mode != PIBOnly {
+		p.biu.Observe(r)
+	}
+	p.pb.Observe(r)
+	p.pib.Observe(r)
+}
+
+// Stats returns the per-component access/miss distribution.
+func (p *PPM) Stats() ComponentStats { return p.stats }
+
+// Tables exposes the Markov stack for diagnostics (occupancy reports).
+func (p *PPM) Tables() []*MarkovTable { return p.tables }
+
+// Reset implements predictor.Resetter.
+func (p *PPM) Reset() {
+	for _, t := range p.tables {
+		t.reset()
+	}
+	p.zero = markovEntry{}
+	p.pb.Reset()
+	p.pib.Reset()
+	p.biu.Reset()
+	p.stats = newComponentStats(p.cfg.Order)
+}
+
+var (
+	_ predictor.IndirectPredictor = (*PPM)(nil)
+	_ predictor.Sized             = (*PPM)(nil)
+	_ predictor.Resetter          = (*PPM)(nil)
+)
+
+// Bits implements predictor.Costed: the Markov stack entries plus the two
+// 100-bit path history registers of Figure 4 (the BIU is excluded, as for
+// every design; selection counters live there).
+func (p *PPM) Bits() int {
+	per := 30 + 1 + 2
+	if p.cfg.Tagged {
+		per += 16
+	}
+	n := per // order-0 component
+	for _, t := range p.tables {
+		n += t.Len() * per
+	}
+	phr := p.cfg.Order * int(p.cfg.TargetBits)
+	if p.cfg.Mode == PIBOnly {
+		return n + phr
+	}
+	return n + 2*phr
+}

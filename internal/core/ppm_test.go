@@ -1,0 +1,366 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/counter"
+	"repro/internal/trace"
+)
+
+func mtJmp(pc, target uint64) trace.Record {
+	return trace.Record{PC: pc, Target: target, Class: trace.IndirectJmp, Taken: true, MT: true}
+}
+
+func condRec(pc, target uint64, taken bool) trace.Record {
+	return trace.Record{PC: pc, Target: target, Class: trace.CondDirect, Taken: taken}
+}
+
+func TestEntriesBudget(t *testing.T) {
+	// Order-10 stack: 2^1+...+2^10 = 2046 Markov entries + the order-0
+	// component = 2047, the paper's ~2K budget.
+	if got := PaperHyb().Entries(); got != 2047 {
+		t.Errorf("Entries = %d, want 2047", got)
+	}
+	if got := New(Config{Order: 3, TargetBits: 10, FoldBits: 5}).Entries(); got != 2+4+8+1 {
+		t.Errorf("order-3 Entries = %d, want 15", got)
+	}
+}
+
+func TestNamesAndModes(t *testing.T) {
+	if PaperHyb().Name() != "PPM-hyb" || PaperPIB().Name() != "PPM-PIB" || PaperHybBiased().Name() != "PPM-hyb-biased" {
+		t.Error("mode names mismatch")
+	}
+	custom := New(Config{Name: "mine", Order: 4, TargetBits: 10, FoldBits: 5})
+	if custom.Name() != "mine" {
+		t.Error("custom name ignored")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	bads := []Config{
+		{Order: 0, TargetBits: 10, FoldBits: 5},
+		{Order: 30, TargetBits: 10, FoldBits: 5},
+		{Order: 5, TargetBits: 0, FoldBits: 5},
+		{Order: 5, TargetBits: 10, FoldBits: 0},
+		{Order: 5, TargetBits: 10, FoldBits: 12},
+	}
+	for i, cfg := range bads {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("config %d did not panic", i)
+				}
+			}()
+			New(cfg)
+		}()
+	}
+}
+
+func TestOrderZeroFallback(t *testing.T) {
+	// The very first prediction has no valid Markov entries anywhere and
+	// must abstain; after one update the order-0 component can answer for
+	// a never-before-seen history.
+	p := PaperPIB()
+	if _, ok := p.Predict(0x1000); ok {
+		t.Fatal("cold PPM predicted")
+	}
+	p.Update(0x1000, 0xAAAA)
+	p.Observe(mtJmp(0x1000, 0xAAAA))
+	// Push wild history so every per-order index moves off the trained
+	// slots with high probability; order-0 still answers.
+	for i := 0; i < 30; i++ {
+		p.Observe(mtJmp(0x2000, uint64(0x9000+i*0x5554)))
+	}
+	got, ok := p.Predict(0x1000)
+	if !ok {
+		t.Fatal("no prediction despite order-0 component")
+	}
+	_ = got // the target may come from any component that aliased; ok suffices
+}
+
+func TestUpdateExclusionTrainsHigherOrders(t *testing.T) {
+	p := New(Config{Order: 4, TargetBits: 10, FoldBits: 5, Mode: PIBOnly})
+	// Establish a fixed history, then train one (history, target) pair.
+	hist := []uint64{0x4444, 0x3330, 0x222c, 0x1118}
+	for i := len(hist) - 1; i >= 0; i-- {
+		p.Observe(mtJmp(0x1000, hist[i]))
+	}
+	p.Predict(0x1000)
+	p.Update(0x1000, 0xBEEF) // chosen = -1 -> all components learn
+	st := p.Stats()
+	if st.Accesses[p.Order()+1] != 1 {
+		t.Fatalf("first access not counted as no-prediction: %v", st.Accesses)
+	}
+	// Same history again: highest order must now answer.
+	got, ok := p.Predict(0x1000)
+	if !ok || got != 0xBEEF {
+		t.Fatalf("Predict = (%#x,%v) after training", got, ok)
+	}
+	if p.Stats().Accesses[4] != 1 {
+		t.Errorf("prediction not attributed to order 4: %v", p.Stats().Accesses)
+	}
+}
+
+func TestComponentStatsTopOrderDominates(t *testing.T) {
+	// Section 5: at least 98% of accesses land in the highest-order
+	// component once warmed, because update exclusion always trains it.
+	p := PaperPIB()
+	targets := []uint64{0x140000f4, 0x14000128, 0x1400075c, 0x14000390, 0x14000a5c}
+	for i := 0; i < 6000; i++ {
+		tgt := targets[i%len(targets)]
+		p.Predict(0x1000)
+		p.Update(0x1000, tgt)
+		p.Observe(mtJmp(0x1000, tgt))
+	}
+	st := p.Stats()
+	var total uint64
+	for _, a := range st.Accesses {
+		total += a
+	}
+	top := st.Accesses[p.Order()]
+	if float64(top)/float64(total) < 0.95 {
+		t.Errorf("top-order access share = %.3f, want >= 0.95 (paper: >= 0.98)", float64(top)/float64(total))
+	}
+}
+
+func TestHybridSelectionLearnsPB(t *testing.T) {
+	// A branch whose target is determined by the preceding conditional
+	// branch outcome (visible only in PB history) must be captured by the
+	// hybrid but not by the PIB-only variant.
+	run := func(p *PPM) float64 {
+		const site = 0x12000400
+		const condPC = 0x13000000
+		const fillPC = 0x13000100
+		targets := []uint64{0x14001000, 0x14003000}
+		correct, total := 0, 0
+		bitstream := uint64(0x9e3779b97f4a7c15)
+		for i := 0; i < 6000; i++ {
+			bit := int(bitstream >> uint(i%64) & 1)
+			if i%64 == 63 {
+				bitstream = bitstream*6364136223846793005 + 1442695040888963407
+			}
+			// Quiet loop body: constant-outcome conditionals, then the
+			// data-dependent one right before the dispatch, as in real
+			// dispatch loops. The PB window therefore holds a small
+			// recurrent context in which only the deciding bit varies.
+			for j := 0; j < 8; j++ {
+				p.Observe(condRec(fillPC+uint64(j)*0x10, fillPC+uint64(j)*0x10+4, false))
+			}
+			condTgt := uint64(condPC + 4)
+			if bit == 1 {
+				condTgt = condPC + 0x44
+			}
+			p.Observe(condRec(condPC, condTgt, bit == 1))
+			want := targets[bit]
+			got, ok := p.Predict(site)
+			if i > 1000 {
+				total++
+				if ok && got == want {
+					correct++
+				}
+			}
+			p.Update(site, want)
+			p.Observe(mtJmp(site, want))
+		}
+		return float64(correct) / float64(total)
+	}
+	hyb := run(PaperHyb())
+	pib := run(PaperPIB())
+	if hyb < 0.95 {
+		t.Errorf("PPM-hyb accuracy on cond-driven branch = %.3f, want >= 0.95", hyb)
+	}
+	if pib > 0.8 {
+		t.Errorf("PPM-PIB accuracy on cond-driven branch = %.3f — PIB history should not capture it", pib)
+	}
+}
+
+func TestSelectionCounterFlipsToPB(t *testing.T) {
+	p := PaperHyb()
+	const site = 0x12000400
+	// Mispredict repeatedly; the selection counter must leave the initial
+	// Strongly-PIB state.
+	for i := 0; i < 10; i++ {
+		p.Predict(site)
+		p.Update(site, uint64(0x14000000+i*0x5550))
+		p.Observe(mtJmp(site, uint64(0x14000000+i*0x5550)))
+	}
+	e := p.BIU().Lookup(site)
+	if e == nil {
+		t.Fatal("BIU entry missing")
+	}
+	if e.Sel.Selected() != counter.PB {
+		t.Errorf("selection counter state %s after sustained mispredictions, want a PB state",
+			counter.StateName(e.Sel.State()))
+	}
+}
+
+func TestPIBOnlyHasNoBIUSelection(t *testing.T) {
+	p := PaperPIB()
+	p.Predict(0x1000)
+	p.Update(0x1000, 0x4000)
+	p.Observe(mtJmp(0x1000, 0x4000))
+	if p.BIU().Len() != 0 {
+		t.Error("PPM-PIB allocated BIU selection entries")
+	}
+}
+
+func TestLowSelectVariantWorks(t *testing.T) {
+	cfg := DefaultConfig(PIBOnly)
+	cfg.LowSelect = true
+	p := New(cfg)
+	targets := []uint64{0x140000f4, 0x14000128, 0x1400075c}
+	correct, total := 0, 0
+	for i := 0; i < 3000; i++ {
+		tgt := targets[i%3]
+		got, ok := p.Predict(0x1000)
+		if i > 500 {
+			total++
+			if ok && got == tgt {
+				correct++
+			}
+		}
+		p.Update(0x1000, tgt)
+		p.Observe(mtJmp(0x1000, tgt))
+	}
+	if acc := float64(correct) / float64(total); acc < 0.98 {
+		t.Errorf("low-select accuracy = %.3f, want >= 0.98 (paper: little difference)", acc)
+	}
+}
+
+func TestTaggedExtensionBlocksAliases(t *testing.T) {
+	// Two branches with identical history: tagless entries are shared
+	// (aliasing — the perl effect); tagged entries are not.
+	run := func(tagged bool) (aAcc float64) {
+		cfg := DefaultConfig(PIBOnly)
+		cfg.Tagged = tagged
+		p := New(cfg)
+		pcA, pcB := uint64(0x12000040), uint64(0x12700880)
+		correct, total := 0, 0
+		for i := 0; i < 4000; i++ {
+			// Keep global PIB history constant-ish: one shared warmup
+			// target between executions so both branches see identical
+			// contexts.
+			p.Observe(mtJmp(0x12999000, 0x15000000))
+			gotA, okA := p.Predict(pcA)
+			p.Update(pcA, 0xAAAA0)
+			p.Observe(mtJmp(pcA, 0xAAAA0))
+			p.Observe(mtJmp(0x12999000, 0x15000000))
+			_, _ = p.Predict(pcB)
+			p.Update(pcB, 0xBBBB0)
+			p.Observe(mtJmp(pcB, 0xBBBB0))
+			if i > 500 {
+				total++
+				if okA && gotA == 0xAAAA0 {
+					correct++
+				}
+			}
+		}
+		return float64(correct) / float64(total)
+	}
+	tagless := run(false)
+	tagged := run(true)
+	if tagged < 0.98 {
+		t.Errorf("tagged PPM accuracy under aliasing = %.3f, want >= 0.98", tagged)
+	}
+	if tagless > tagged {
+		t.Errorf("tagless (%.3f) outperformed tagged (%.3f) under forced aliasing", tagless, tagged)
+	}
+}
+
+func TestConfidenceThresholdFallsThrough(t *testing.T) {
+	cfg := DefaultConfig(PIBOnly)
+	cfg.ConfidenceThreshold = 2
+	p := New(cfg)
+	// Fresh entries start with counter value 1 < 2, so the first re-visit
+	// must fall past them to lower orders (or abstain) rather than use a
+	// low-confidence entry.
+	p.Predict(0x1000)
+	p.Update(0x1000, 0x4000)
+	p.Observe(mtJmp(0x1000, 0x4000))
+	p.Predict(0x1000)
+	st := p.Stats()
+	if st.Accesses[p.Order()] != 0 {
+		t.Error("low-confidence top-order entry supplied a prediction below threshold")
+	}
+}
+
+func TestBoundedBIUEviction(t *testing.T) {
+	cfg := DefaultConfig(Hybrid)
+	cfg.BIULimit = 8
+	p := New(cfg)
+	for i := 0; i < 64; i++ {
+		pc := uint64(0x12000000 + i*0x40)
+		p.Predict(pc)
+		p.Update(pc, 0x14000000)
+		p.Observe(mtJmp(pc, 0x14000000))
+	}
+	if p.BIU().Len() != 8 {
+		t.Errorf("bounded BIU length = %d, want 8", p.BIU().Len())
+	}
+	if p.BIU().Evictions() == 0 {
+		t.Error("no evictions recorded")
+	}
+}
+
+func TestReset(t *testing.T) {
+	p := PaperHyb()
+	for i := 0; i < 100; i++ {
+		p.Predict(0x1000)
+		p.Update(0x1000, uint64(0x14000000+i*0x40))
+		p.Observe(mtJmp(0x1000, uint64(0x14000000+i*0x40)))
+	}
+	p.Reset()
+	if _, ok := p.Predict(0x1000); ok {
+		t.Error("prediction survived Reset")
+	}
+	st := p.Stats()
+	for i, a := range st.Accesses {
+		if i == p.Order()+1 {
+			continue // the post-reset Predict above counts one abstention
+		}
+		if a != 0 {
+			t.Errorf("stats survived Reset: order %d has %d accesses", i, a)
+		}
+	}
+	if p.BIU().Len() != 1 { // re-created by the post-reset Predict
+		t.Errorf("BIU after reset+1 predict: %d entries", p.BIU().Len())
+	}
+	for _, tab := range p.Tables() {
+		if tab.Occupancy() != 0 {
+			t.Errorf("order-%d table occupancy %d after Reset", tab.Order(), tab.Occupancy())
+		}
+	}
+}
+
+func TestMarkovTableOccupancy(t *testing.T) {
+	m := NewMarkovTable(3, false)
+	if m.Len() != 8 || m.Order() != 3 {
+		t.Fatalf("geometry: len=%d order=%d", m.Len(), m.Order())
+	}
+	m.train(0, 0, 0x40)
+	m.train(5, 0, 0x80)
+	if m.Occupancy() != 2 {
+		t.Errorf("occupancy = %d, want 2", m.Occupancy())
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	// Two identical predictors fed the same stream must agree exactly.
+	a, b := PaperHyb(), PaperHyb()
+	state := uint64(12345)
+	for i := 0; i < 2000; i++ {
+		state = state*6364136223846793005 + 1442695040888963407
+		pc := 0x12000000 + (state>>40)%8*0x40
+		tgt := 0x14000000 + (state>>20&0xff)*0x40
+		ga, oka := a.Predict(pc)
+		gb, okb := b.Predict(pc)
+		if ga != gb || oka != okb {
+			t.Fatalf("divergence at step %d", i)
+		}
+		a.Update(pc, tgt)
+		b.Update(pc, tgt)
+		rec := mtJmp(pc, tgt)
+		a.Observe(rec)
+		b.Observe(rec)
+	}
+}

@@ -1,0 +1,180 @@
+package counter
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestHysteresisReplaceAfterTwoMisses(t *testing.T) {
+	h := NewHysteresis()
+	if h.Value() != 1 {
+		t.Fatalf("fresh hysteresis state = %d, want 1 (weak)", h.Value())
+	}
+	if h.OnMiss() {
+		t.Fatal("first miss on a fresh entry must not replace")
+	}
+	if !h.OnMiss() {
+		t.Fatal("second consecutive miss must replace")
+	}
+	if h.Value() != 1 {
+		t.Fatalf("post-replacement state = %d, want weak reset", h.Value())
+	}
+}
+
+func TestHysteresisHitsProtect(t *testing.T) {
+	h := NewHysteresis()
+	for i := 0; i < 5; i++ {
+		h.OnHit()
+	}
+	if h.Value() != 3 {
+		t.Fatalf("saturated value = %d, want 3", h.Value())
+	}
+	// From saturation it takes 4 consecutive misses to replace.
+	misses := 0
+	for !h.OnMiss() {
+		misses++
+		if misses > 10 {
+			t.Fatal("hysteresis never replaces")
+		}
+	}
+	if misses != 3 {
+		t.Errorf("replaced after %d+1 misses from strong, want 3+1", misses)
+	}
+}
+
+func TestHysteresisInterleaved(t *testing.T) {
+	// A hit between misses resets the countdown: hit, miss, hit, miss...
+	// never replaces.
+	h := NewHysteresis()
+	h.OnHit() // -> 2
+	for i := 0; i < 8; i++ {
+		if h.OnMiss() {
+			t.Fatal("alternating hit/miss replaced the target")
+		}
+		h.OnHit()
+	}
+}
+
+func TestSelectionInitialState(t *testing.T) {
+	for _, mode := range []SelectionMode{Normal, PIBBiased} {
+		s := NewSelection(mode)
+		if s.State() != StronglyPIB {
+			t.Errorf("%v: initial state %s, want Strongly PIB", mode, StateName(s.State()))
+		}
+		if s.Selected() != PIB {
+			t.Errorf("%v: initial selection %v, want PIB", mode, s.Selected())
+		}
+	}
+}
+
+// TestSelectionNormalTransitions exhaustively checks the Figure 5 normal
+// state machine.
+func TestSelectionNormalTransitions(t *testing.T) {
+	cases := []struct {
+		from    uint8
+		correct bool
+		want    uint8
+	}{
+		{StronglyPB, true, StronglyPB},
+		{WeaklyPB, true, StronglyPB},
+		{WeaklyPIB, true, StronglyPIB},
+		{StronglyPIB, true, StronglyPIB},
+		{StronglyPB, false, WeaklyPB},
+		{WeaklyPB, false, WeaklyPIB},
+		{WeaklyPIB, false, WeaklyPB},
+		{StronglyPIB, false, WeaklyPIB},
+	}
+	for _, c := range cases {
+		s := Selection{state: c.from, mode: Normal}
+		s.Update(c.correct)
+		if s.State() != c.want {
+			t.Errorf("normal: %s --correct=%v--> %s, want %s",
+				StateName(c.from), c.correct, StateName(s.State()), StateName(c.want))
+		}
+	}
+}
+
+// TestSelectionBiasedTransitions exhaustively checks the PIB-biased machine:
+// a single misprediction on the PB side jumps two steps toward PIB.
+func TestSelectionBiasedTransitions(t *testing.T) {
+	cases := []struct {
+		from    uint8
+		correct bool
+		want    uint8
+	}{
+		{StronglyPB, true, StronglyPB},
+		{WeaklyPB, true, StronglyPB},
+		{WeaklyPIB, true, StronglyPIB},
+		{StronglyPIB, true, StronglyPIB},
+		{StronglyPB, false, WeaklyPIB},
+		{WeaklyPB, false, StronglyPIB},
+		{WeaklyPIB, false, WeaklyPB},
+		{StronglyPIB, false, WeaklyPIB},
+	}
+	for _, c := range cases {
+		s := Selection{state: c.from, mode: PIBBiased}
+		s.Update(c.correct)
+		if s.State() != c.want {
+			t.Errorf("biased: %s --correct=%v--> %s, want %s",
+				StateName(c.from), c.correct, StateName(s.State()), StateName(c.want))
+		}
+	}
+}
+
+func TestSelectionTwoMissesFlip(t *testing.T) {
+	// From a strong state, the normal machine changes correlation type
+	// only after two consecutive mispredictions.
+	s := Selection{state: StronglyPIB, mode: Normal}
+	s.Update(false)
+	if s.Selected() != PIB {
+		t.Fatal("one misprediction flipped a strongly-PIB branch")
+	}
+	s.Update(false)
+	if s.Selected() != PB {
+		t.Fatal("two mispredictions did not flip to PB")
+	}
+}
+
+func TestSelectionBiasedRecoversFast(t *testing.T) {
+	// The biased machine returns a bounced branch to PIB after a single
+	// PB-side misprediction — the aliasing fix of Section 4.
+	s := Selection{state: WeaklyPB, mode: PIBBiased}
+	s.Update(false)
+	if s.State() != StronglyPIB {
+		t.Fatalf("biased weakly-PB mispredict -> %s, want Strongly PIB", StateName(s.State()))
+	}
+}
+
+func TestSelectionStatesStayIn2Bits(t *testing.T) {
+	f := func(ops []bool, biased bool) bool {
+		mode := Normal
+		if biased {
+			mode = PIBBiased
+		}
+		s := NewSelection(mode)
+		for _, op := range ops {
+			s.Update(op)
+			if s.State() > StronglyPIB {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCorrelationString(t *testing.T) {
+	if PB.String() != "PB" || PIB.String() != "PIB" {
+		t.Error("Correlation.String mismatch")
+	}
+	if Normal.String() != "normal" || PIBBiased.String() != "pib-biased" {
+		t.Error("SelectionMode.String mismatch")
+	}
+	for st := uint8(0); st < 4; st++ {
+		if StateName(st) == "" {
+			t.Errorf("StateName(%d) empty", st)
+		}
+	}
+}

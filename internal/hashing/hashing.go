@@ -1,0 +1,160 @@
+// Package hashing implements the index-generation functions used by the
+// indirect branch predictors in this repository:
+//
+//   - gshare XOR indexing (Chang et al., Driesen & Hölzle)
+//   - Select-Fold-Shift-XOR (SFSX) from Sazeides & Smith
+//   - Select-Fold-Shift-XOR-Select (SFSXS), the paper's Figure 2 mapping
+//     function for the PPM Markov predictor stack
+//   - reverse-interleaving indexing used by the Dual-path predictor
+//
+// All functions are pure and allocation-free so they can run in the inner
+// simulation loop.
+package hashing
+
+// Mask returns a mask of the n low-order bits. n must be <= 64.
+func Mask(n uint) uint64 {
+	if n >= 64 {
+		return ^uint64(0)
+	}
+	return (uint64(1) << n) - 1
+}
+
+// Select extracts the n low-order bits of v.
+func Select(v uint64, n uint) uint64 { return v & Mask(n) }
+
+// Fold XOR-folds the in low-order bits of v into out bits by XORing
+// successive out-bit chunks together. If out >= in the value is returned
+// masked to in bits. out must be > 0.
+func Fold(v uint64, in, out uint) uint64 {
+	v = Select(v, in)
+	if out == 0 {
+		return 0
+	}
+	if out >= in {
+		return v
+	}
+	var folded uint64
+	for v != 0 {
+		folded ^= v & Mask(out)
+		v >>= out
+	}
+	return folded
+}
+
+// GShare forms a bits-wide index by XORing the branch address (shifted right
+// by 2 to drop the instruction alignment bits) with the history register.
+func GShare(history, pc uint64, n uint) uint64 {
+	return (history ^ (pc >> 2)) & Mask(n)
+}
+
+// SFSX computes the Select-Fold-Shift-XOR hash over a path of targets.
+// targets[0] is the most recent target. For each target i the selBits
+// low-order bits are selected, folded to foldBits bits, shifted left by i,
+// and XORed into the accumulator. The result occupies at most
+// foldBits+len(targets)-1 bits.
+func SFSX(targets []uint64, selBits, foldBits uint) uint64 {
+	var h uint64
+	for i, t := range targets {
+		h ^= Fold(t>>2, selBits, foldBits) << uint(i)
+	}
+	return h
+}
+
+// SFSXS computes the paper's Figure 2 Select-Fold-Shift-XOR-Select index for
+// the Markov predictor of the given order. It forms an SFSX-style hash over
+// the `order` most recent targets (targets[0] is most recent), with the most
+// recent target shifted into the highest bit positions, and selects the
+// `order` high-order bits of the (foldBits+order-1)-bit hash. The order-j
+// Markov table thus has exactly 2^j entries, its index depends only on the
+// j most recent targets (preserving Markov-chain semantics), and the
+// selected bits are dominated by the most recent path — without which the
+// highest-order component would effectively ignore recent control flow.
+//
+// If fewer than `order` targets are available the hash is computed over the
+// ones present (early-execution warm-up), which matches a hardware PHR that
+// powers up zeroed.
+func SFSXS(targets []uint64, selBits, foldBits, order uint) uint64 {
+	if order == 0 {
+		return 0
+	}
+	n := uint(len(targets))
+	if n > order {
+		n = order
+	}
+	var h uint64
+	for i := uint(0); i < n; i++ {
+		h ^= Fold(targets[i]>>2, selBits, foldBits) << (order - 1 - i)
+	}
+	width := foldBits + order - 1
+	if width < order {
+		width = order
+	}
+	return (h >> (width - order)) & Mask(order)
+}
+
+// SFSXSLow is the alternative mapping mentioned in Section 4 of the paper:
+// the mirror orientation that shifts the most recent target into the
+// low-order bit positions and selects the order low-order bits of the hash.
+// The paper found little accuracy difference between the two; both are kept
+// so the claim can be checked experimentally.
+func SFSXSLow(targets []uint64, selBits, foldBits, order uint) uint64 {
+	if order == 0 {
+		return 0
+	}
+	n := uint(len(targets))
+	if n > order {
+		n = order
+	}
+	var h uint64
+	for i := uint(0); i < n; i++ {
+		h ^= Fold(targets[i]>>2, selBits, foldBits) << i
+	}
+	return h & Mask(order)
+}
+
+// ReverseInterleave forms an n-bit index by interleaving bits of the
+// bit-reversed history register with bits of the branch address, the
+// indexing scheme Driesen & Hölzle describe for the Dual-path predictor
+// components. Reversing the history places the most recently shifted-in
+// target bits in the high-order index positions, spreading recent-path
+// information across the table.
+func ReverseInterleave(history uint64, historyBits uint, pc uint64, n uint) uint64 {
+	// The shift register keeps the most recent target in its low-order
+	// bits; bit-reversing within the n-bit window places those most
+	// recent bits in the high-order index positions, spreading recent-path
+	// information across the table while PC bits fill the gaps.
+	// Count the history positions in the 2:1 interleave pattern and fold
+	// the full register into that many bits, so the whole recorded path —
+	// not just its most recent slice — reaches the index.
+	histPos := (n + 1) / 2
+	h := Fold(Select(history, historyBits), historyBits, histPos)
+	pc >>= 2
+	var out uint64
+	var outPos uint
+	// Alternate one folded-history bit (recent first) and one PC bit until
+	// n output bits are set.
+	for outPos < n {
+		out |= (h & 1) << (n - 1 - outPos)
+		h >>= 1
+		outPos++
+		if outPos >= n {
+			break
+		}
+		out |= (pc & 1) << (n - 1 - outPos)
+		pc >>= 1
+		outPos++
+	}
+	return Select(out, n)
+}
+
+// Mix64 is a splitmix64-style finalizer used to derive well-distributed
+// table tags and workload hash functions from raw addresses. It is a
+// bijection on 64-bit values.
+func Mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}

@@ -1,0 +1,202 @@
+// Package history implements path history registers (PHRs): shift registers
+// that record the recent targets of a selected stream of branches. Two views
+// are provided, matching the two families of predictors in the paper:
+//
+//   - Recent() exposes the most recent full targets, which the PPM
+//     predictor's SFSXS mapping selects and folds per target (Figure 2);
+//   - Packed() exposes the conventional k-bits-per-target shift register
+//     used by GAp, Target Cache and Dual-path gshare/interleaved indexing.
+package history
+
+import "repro/internal/trace"
+
+// Stream selects which branch records feed a PHR, mirroring the correlation
+// groups studied by Chang et al. and adopted in Section 4 of the paper.
+type Stream uint8
+
+const (
+	// AllBranches records the target of every committed branch (PB path
+	// history: "Per Branch" correlation). Not-taken conditional branches
+	// contribute their fall-through address.
+	AllBranches Stream = iota
+	// IndirectBranches records targets of indirect jmp/jsr instructions
+	// only, ST and MT alike (PIB path history: "Per Indirect Branch").
+	IndirectBranches
+	// MTIndirectBranches records only multi-target indirect jmp/jsr
+	// targets — the stream the Dual-path predictor registers observe.
+	MTIndirectBranches
+	// TakenBranches records targets of taken branches only.
+	TakenBranches
+)
+
+// String names the stream.
+func (s Stream) String() string {
+	switch s {
+	case AllBranches:
+		return "PB"
+	case IndirectBranches:
+		return "PIB"
+	case MTIndirectBranches:
+		return "MT"
+	case TakenBranches:
+		return "taken"
+	}
+	return "stream(?)"
+}
+
+// Accepts reports whether a record belongs to the stream.
+func (s Stream) Accepts(r trace.Record) bool {
+	switch s {
+	case AllBranches:
+		return true
+	case IndirectBranches:
+		return r.PIBStream()
+	case MTIndirectBranches:
+		return r.MTIndirect()
+	case TakenBranches:
+		return r.Taken
+	}
+	return false
+}
+
+// PHR is a path history register holding the most recent `depth` targets of
+// its stream. The zero value is not usable; construct with New.
+type PHR struct {
+	stream Stream
+	ring   []uint64
+	head   int // index of most recent entry
+	filled int
+
+	// packed is the conventional shift register maintained incrementally:
+	// bitsPer low-order bits of each target, most recent in the low bits.
+	packed     uint64
+	packedBits uint
+	bitsPer    uint
+}
+
+// New creates a PHR of the given depth over the given stream. bitsPer
+// configures the packed shift-register view (bits recorded per target);
+// packedBits bounds the register width. depth must be >= 1.
+func New(stream Stream, depth int, bitsPer, packedBits uint) *PHR {
+	if depth < 1 {
+		panic("history: depth must be >= 1")
+	}
+	if packedBits > 64 {
+		packedBits = 64
+	}
+	return &PHR{
+		stream:     stream,
+		ring:       make([]uint64, depth),
+		head:       depth - 1,
+		bitsPer:    bitsPer,
+		packedBits: packedBits,
+	}
+}
+
+// Stream returns the stream feeding this register.
+func (p *PHR) Stream() Stream { return p.stream }
+
+// Depth returns the number of targets retained.
+func (p *PHR) Depth() int { return len(p.ring) }
+
+// Observe shifts the record's target into the register if the record
+// belongs to the PHR's stream. It returns true if the register advanced.
+func (p *PHR) Observe(r trace.Record) bool {
+	if !p.stream.Accepts(r) {
+		return false
+	}
+	p.Push(r.Target)
+	return true
+}
+
+// Push unconditionally shifts a target into the register.
+func (p *PHR) Push(target uint64) {
+	p.head++
+	if p.head == len(p.ring) {
+		p.head = 0
+	}
+	p.ring[p.head] = target
+	if p.filled < len(p.ring) {
+		p.filled++
+	}
+	if p.packedBits > 0 {
+		mask := (uint64(1) << p.packedBits) - 1
+		if p.packedBits == 64 {
+			mask = ^uint64(0)
+		}
+		var sel uint64
+		if p.bitsPer >= 64 {
+			sel = target >> 2
+		} else {
+			sel = (target >> 2) & ((uint64(1) << p.bitsPer) - 1)
+		}
+		p.packed = ((p.packed << p.bitsPer) | sel) & mask
+	}
+}
+
+// Len reports how many targets have been recorded, up to the depth.
+func (p *PHR) Len() int { return p.filled }
+
+// Recent appends the n most recent targets (most recent first) to dst and
+// returns the extended slice. Fewer than n are returned during warm-up.
+func (p *PHR) Recent(dst []uint64, n int) []uint64 {
+	if n > p.filled {
+		n = p.filled
+	}
+	idx := p.head
+	for i := 0; i < n; i++ {
+		dst = append(dst, p.ring[idx])
+		idx--
+		if idx < 0 {
+			idx = len(p.ring) - 1
+		}
+	}
+	return dst
+}
+
+// Packed returns the shift-register view: bitsPer low bits of each recorded
+// target, most recent target in the least significant bits, truncated to
+// packedBits.
+func (p *PHR) Packed() uint64 { return p.packed }
+
+// State is a snapshot of a PHR's contents, used by the workload generator
+// to model programs that return to previously visited control-flow
+// configurations.
+type State struct {
+	ring   []uint64
+	head   int
+	filled int
+	packed uint64
+}
+
+// Snapshot captures the register's current contents.
+func (p *PHR) Snapshot() State {
+	return State{
+		ring:   append([]uint64(nil), p.ring...),
+		head:   p.head,
+		filled: p.filled,
+		packed: p.packed,
+	}
+}
+
+// Restore rewinds the register to a snapshot taken from the same PHR
+// (matching depth); mismatched snapshots panic.
+func (p *PHR) Restore(s State) {
+	if len(s.ring) != len(p.ring) {
+		panic("history: snapshot depth mismatch")
+	}
+	copy(p.ring, s.ring)
+	p.head = s.head
+	p.filled = s.filled
+	p.packed = s.packed
+}
+
+// Reset clears the register to its power-up state.
+func (p *PHR) Reset() {
+	for i := range p.ring {
+		p.ring[i] = 0
+	}
+	p.head = len(p.ring) - 1
+	p.filled = 0
+	p.packed = 0
+}

@@ -1,0 +1,88 @@
+// Package oracle implements the idealized predictor used in the Section 5
+// photon analysis: an unbounded table keyed by (branch address, complete
+// PIB path history of a configurable length) that predicts the most recent
+// target seen in that context. With a path length of 8 it achieves ~99.1%
+// accuracy on photon in the paper, establishing the benchmark's inherent
+// PIB predictability.
+package oracle
+
+import (
+	"repro/internal/history"
+	"repro/internal/predictor"
+	"repro/internal/trace"
+)
+
+// Oracle is an infinite-storage context predictor over full (unhashed) PIB
+// path history.
+type Oracle struct {
+	name    string
+	depth   int
+	hist    *history.PHR
+	table   map[uint64]uint64
+	scratch []uint64
+	pending uint64
+}
+
+// New creates an oracle using the given PIB path length.
+func New(pathLength int) *Oracle {
+	return &Oracle{
+		name:    "Oracle-PIB",
+		depth:   pathLength,
+		hist:    history.New(history.IndirectBranches, pathLength, 0, 0),
+		table:   make(map[uint64]uint64),
+		scratch: make([]uint64, 0, pathLength),
+	}
+}
+
+// Name implements predictor.IndirectPredictor.
+func (o *Oracle) Name() string { return o.name }
+
+// key hashes (pc, full path) into the context key. Full 64-bit targets are
+// mixed in, so distinct contexts collide only with cryptographically small
+// probability — an acceptable stand-in for infinite exact-match storage.
+func (o *Oracle) key(pc uint64) uint64 {
+	h := mix(pc ^ 0x9e3779b97f4a7c15)
+	recent := o.hist.Recent(o.scratch[:0], o.depth)
+	for _, t := range recent {
+		h = mix(h ^ t)
+	}
+	// Distinguish warm-up lengths so a short history is its own context.
+	return mix(h ^ uint64(len(recent)))
+}
+
+func mix(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// Predict implements predictor.IndirectPredictor.
+func (o *Oracle) Predict(pc uint64) (uint64, bool) {
+	k := o.key(pc)
+	o.pending = k
+	t, ok := o.table[k]
+	return t, ok
+}
+
+// Update implements predictor.IndirectPredictor.
+func (o *Oracle) Update(_, target uint64) { o.table[o.pending] = target }
+
+// Observe implements predictor.IndirectPredictor.
+func (o *Oracle) Observe(r trace.Record) { o.hist.Observe(r) }
+
+// Contexts returns the number of distinct (pc, path) contexts recorded.
+func (o *Oracle) Contexts() int { return len(o.table) }
+
+// Reset implements predictor.Resetter.
+func (o *Oracle) Reset() {
+	o.table = make(map[uint64]uint64)
+	o.hist.Reset()
+}
+
+var (
+	_ predictor.IndirectPredictor = (*Oracle)(nil)
+	_ predictor.Resetter          = (*Oracle)(nil)
+)

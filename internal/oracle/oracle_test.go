@@ -1,0 +1,92 @@
+package oracle
+
+import (
+	"testing"
+
+	"repro/internal/trace"
+)
+
+func mtJmp(pc, target uint64) trace.Record {
+	return trace.Record{PC: pc, Target: target, Class: trace.IndirectJmp, Taken: true, MT: true}
+}
+
+func TestOracleNailsDeterministicContexts(t *testing.T) {
+	o := New(4)
+	targets := []uint64{0x100, 0x200, 0x300, 0x400, 0x500}
+	correct, total := 0, 0
+	for i := 0; i < 2000; i++ {
+		want := targets[i%len(targets)]
+		got, ok := o.Predict(0x1000)
+		if i > len(targets)*2 {
+			total++
+			if ok && got == want {
+				correct++
+			}
+		}
+		o.Update(0x1000, want)
+		o.Observe(mtJmp(0x1000, want))
+	}
+	if acc := float64(correct) / float64(total); acc != 1.0 {
+		t.Errorf("oracle accuracy on a period-5 cycle = %.4f, want 1.0", acc)
+	}
+}
+
+func TestOracleDistinguishesBranches(t *testing.T) {
+	// Same history, different PCs: separate contexts.
+	o := New(2)
+	o.Observe(mtJmp(0x9000, 0x1111))
+	o.Observe(mtJmp(0x9000, 0x2222))
+	o.Predict(0xA000)
+	o.Update(0xA000, 0xAAAA)
+	o.Predict(0xB000)
+	o.Update(0xB000, 0xBBBB)
+	if got, ok := o.Predict(0xA000); !ok || got != 0xAAAA {
+		t.Errorf("branch A context = (%#x,%v)", got, ok)
+	}
+	if got, ok := o.Predict(0xB000); !ok || got != 0xBBBB {
+		t.Errorf("branch B context = (%#x,%v)", got, ok)
+	}
+}
+
+func TestOracleUsesPathDepth(t *testing.T) {
+	// Two contexts identical in the most recent target but differing two
+	// targets back must be distinguished by a depth-2 oracle.
+	o := New(2)
+	run := func(older uint64, want uint64) (uint64, bool) {
+		o.Observe(mtJmp(0x9000, older))
+		o.Observe(mtJmp(0x9000, 0x5555))
+		got, ok := o.Predict(0x1000)
+		o.Update(0x1000, want)
+		return got, ok
+	}
+	run(0x1111, 0xAAAA)
+	run(0x2222, 0xBBBB)
+	if got, ok := run(0x1111, 0xAAAA); !ok || got != 0xAAAA {
+		t.Errorf("depth-2 context A = (%#x,%v), want 0xAAAA", got, ok)
+	}
+	if got, ok := run(0x2222, 0xBBBB); !ok || got != 0xBBBB {
+		t.Errorf("depth-2 context B = (%#x,%v), want 0xBBBB", got, ok)
+	}
+}
+
+func TestOracleContextsGrow(t *testing.T) {
+	o := New(3)
+	for i := 0; i < 50; i++ {
+		o.Observe(mtJmp(0x9000, uint64(0x100+i*0x40)))
+		o.Predict(0x1000)
+		o.Update(0x1000, 0x42)
+	}
+	if o.Contexts() < 40 {
+		t.Errorf("Contexts = %d after 50 distinct histories", o.Contexts())
+	}
+	o.Reset()
+	if o.Contexts() != 0 {
+		t.Error("contexts survived Reset")
+	}
+}
+
+func TestOracleName(t *testing.T) {
+	if New(8).Name() == "" {
+		t.Error("empty name")
+	}
+}

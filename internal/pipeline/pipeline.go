@@ -1,0 +1,80 @@
+// Package pipeline converts misprediction counts into front-end timing
+// estimates for a wide-issue speculative processor — the cost model behind
+// the paper's motivation that "predicting indirect branches can have a
+// significant impact on the performance of a wide-issue machine employing
+// speculative execution". The model is deliberately simple and standard:
+// useful work issues at the machine width; every branch misprediction
+// squashes the speculative window and refills the pipeline, costing a
+// fixed penalty of issue slots.
+package pipeline
+
+import "fmt"
+
+// Config describes the modelled machine.
+type Config struct {
+	// Width is the issue width (instructions per cycle when streaming).
+	Width int
+	// MispredictPenalty is the pipeline refill cost of one misprediction,
+	// in cycles (front-end depth).
+	MispredictPenalty int
+}
+
+// Default4Wide is a late-90s wide-issue configuration of the kind the
+// paper targets: 4-wide with a 10-cycle refill.
+var Default4Wide = Config{Width: 4, MispredictPenalty: 10}
+
+// Validate reports a configuration error, if any.
+func (c Config) Validate() error {
+	if c.Width < 1 {
+		return fmt.Errorf("pipeline: width must be >= 1, got %d", c.Width)
+	}
+	if c.MispredictPenalty < 0 {
+		return fmt.Errorf("pipeline: negative penalty %d", c.MispredictPenalty)
+	}
+	return nil
+}
+
+// Result is the timing estimate for one run under one predictor.
+type Result struct {
+	Instructions   uint64
+	Mispredictions uint64
+	Cycles         uint64
+	IPC            float64
+}
+
+// Estimate computes cycles and IPC for a run with the given dynamic
+// instruction count and total branch mispredictions.
+func (c Config) Estimate(instructions, mispredictions uint64) Result {
+	if err := c.Validate(); err != nil {
+		panic(err)
+	}
+	base := (instructions + uint64(c.Width) - 1) / uint64(c.Width)
+	cycles := base + mispredictions*uint64(c.MispredictPenalty)
+	r := Result{
+		Instructions:   instructions,
+		Mispredictions: mispredictions,
+		Cycles:         cycles,
+	}
+	if cycles > 0 {
+		r.IPC = float64(instructions) / float64(cycles)
+	}
+	return r
+}
+
+// Speedup returns how much faster `improved` executes than `base`
+// (e.g. 1.07 = 7% faster), assuming the same instruction stream.
+func Speedup(base, improved Result) float64 {
+	if improved.Cycles == 0 {
+		return 0
+	}
+	return float64(base.Cycles) / float64(improved.Cycles)
+}
+
+// MPKI returns mispredictions per thousand instructions, the standard
+// density metric.
+func MPKI(instructions, mispredictions uint64) float64 {
+	if instructions == 0 {
+		return 0
+	}
+	return 1000 * float64(mispredictions) / float64(instructions)
+}

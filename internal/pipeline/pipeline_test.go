@@ -1,0 +1,86 @@
+package pipeline
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestEstimatePerfectPrediction(t *testing.T) {
+	r := Default4Wide.Estimate(4000, 0)
+	if r.Cycles != 1000 {
+		t.Errorf("cycles = %d, want 1000", r.Cycles)
+	}
+	if r.IPC != 4 {
+		t.Errorf("IPC = %v, want 4 (machine width)", r.IPC)
+	}
+}
+
+func TestEstimateWithMispredictions(t *testing.T) {
+	// 4000 instructions, 100 mispredictions x 10 cycles = 1000 + 1000.
+	r := Default4Wide.Estimate(4000, 100)
+	if r.Cycles != 2000 {
+		t.Errorf("cycles = %d, want 2000", r.Cycles)
+	}
+	if r.IPC != 2 {
+		t.Errorf("IPC = %v, want 2", r.IPC)
+	}
+}
+
+func TestEstimateRoundsUp(t *testing.T) {
+	r := Config{Width: 4, MispredictPenalty: 0}.Estimate(5, 0)
+	if r.Cycles != 2 {
+		t.Errorf("cycles = %d, want 2 (ceil(5/4))", r.Cycles)
+	}
+}
+
+func TestSpeedup(t *testing.T) {
+	base := Default4Wide.Estimate(4000, 100)    // 2000 cycles
+	improved := Default4Wide.Estimate(4000, 50) // 1500 cycles
+	if got := Speedup(base, improved); math.Abs(got-2000.0/1500.0) > 1e-12 {
+		t.Errorf("speedup = %v", got)
+	}
+	if Speedup(base, Result{}) != 0 {
+		t.Error("zero-cycle speedup should be 0")
+	}
+}
+
+func TestMPKI(t *testing.T) {
+	if got := MPKI(1_000_000, 5000); got != 5 {
+		t.Errorf("MPKI = %v, want 5", got)
+	}
+	if MPKI(0, 10) != 0 {
+		t.Error("MPKI with zero instructions should be 0")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if (Config{Width: 0}).Validate() == nil {
+		t.Error("width 0 accepted")
+	}
+	if (Config{Width: 4, MispredictPenalty: -1}).Validate() == nil {
+		t.Error("negative penalty accepted")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Estimate on invalid config did not panic")
+		}
+	}()
+	Config{}.Estimate(1, 0)
+}
+
+func TestMonotonicity(t *testing.T) {
+	// More mispredictions never make the machine faster.
+	f := func(instr uint32, m1, m2 uint16) bool {
+		lo, hi := uint64(m1), uint64(m2)
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		a := Default4Wide.Estimate(uint64(instr), lo)
+		b := Default4Wide.Estimate(uint64(instr), hi)
+		return a.Cycles <= b.Cycles && a.IPC >= b.IPC
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

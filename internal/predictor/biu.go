@@ -1,0 +1,88 @@
+package predictor
+
+import (
+	"repro/internal/counter"
+	"repro/internal/trace"
+)
+
+// BIU models the Branch Identification Unit of Section 4: a structure
+// indexed by branch address that identifies indirect branches, records the
+// compiler/linker ST/MT annotation bit, and (for the hybrid PPM predictor)
+// holds the per-branch 2-bit correlation selection counter.
+//
+// The paper assumes an infinite BIU; Limit=0 reproduces that. A positive
+// Limit bounds the number of live entries with FIFO eviction, enabling the
+// finite-BIU sensitivity study the paper lists as future work.
+type BIU struct {
+	mode    counter.SelectionMode
+	limit   int
+	entries map[uint64]*BIUEntry
+	order   []uint64 // insertion order, used for FIFO eviction when bounded
+
+	evictions uint64
+}
+
+// BIUEntry is the per-branch state held by the BIU.
+type BIUEntry struct {
+	// MT records the multi-target annotation bit.
+	MT bool
+	// Sel is the correlation selection counter (Figure 5).
+	Sel counter.Selection
+}
+
+// NewBIU constructs a BIU whose selection counters follow the given Figure 5
+// state machine. limit bounds the number of entries (0 = unbounded).
+func NewBIU(mode counter.SelectionMode, limit int) *BIU {
+	return &BIU{
+		mode:    mode,
+		limit:   limit,
+		entries: make(map[uint64]*BIUEntry),
+	}
+}
+
+// Lookup returns the entry for pc, or nil if the branch has not been seen.
+func (b *BIU) Lookup(pc uint64) *BIUEntry { return b.entries[pc] }
+
+// Ensure returns the entry for pc, allocating one (initialized to
+// Strongly-PIB, per the paper) on first use.
+func (b *BIU) Ensure(pc uint64) *BIUEntry {
+	if e, ok := b.entries[pc]; ok {
+		return e
+	}
+	e := &BIUEntry{Sel: counter.NewSelection(b.mode)}
+	b.entries[pc] = e
+	if b.limit > 0 {
+		b.order = append(b.order, pc)
+		if len(b.entries) > b.limit {
+			victim := b.order[0]
+			b.order = b.order[1:]
+			delete(b.entries, victim)
+			b.evictions++
+		}
+	}
+	return e
+}
+
+// Observe records the annotation bit carried by a committed branch record.
+func (b *BIU) Observe(r trace.Record) {
+	if !r.Class.Indirect() {
+		return
+	}
+	e := b.Ensure(r.PC)
+	if r.MT {
+		e.MT = true
+	}
+}
+
+// Len returns the number of live entries.
+func (b *BIU) Len() int { return len(b.entries) }
+
+// Evictions returns how many entries a bounded BIU has displaced.
+func (b *BIU) Evictions() uint64 { return b.evictions }
+
+// Reset clears the BIU to power-up state.
+func (b *BIU) Reset() {
+	b.entries = make(map[uint64]*BIUEntry)
+	b.order = b.order[:0]
+	b.evictions = 0
+}

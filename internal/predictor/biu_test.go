@@ -1,0 +1,104 @@
+package predictor
+
+import (
+	"testing"
+
+	"repro/internal/counter"
+	"repro/internal/trace"
+)
+
+func TestBIUEnsureInitialState(t *testing.T) {
+	b := NewBIU(counter.Normal, 0)
+	e := b.Ensure(0x1000)
+	if e == nil {
+		t.Fatal("Ensure returned nil")
+	}
+	if e.Sel.Selected() != counter.PIB {
+		t.Error("fresh BIU entry must select PIB (Strongly PIB init)")
+	}
+	if e.MT {
+		t.Error("fresh BIU entry should not be MT")
+	}
+	if b.Ensure(0x1000) != e {
+		t.Error("Ensure is not idempotent")
+	}
+	if b.Len() != 1 {
+		t.Errorf("Len = %d, want 1", b.Len())
+	}
+}
+
+func TestBIUObserve(t *testing.T) {
+	b := NewBIU(counter.Normal, 0)
+	b.Observe(trace.Record{PC: 0x2000, Class: trace.CondDirect})
+	if b.Lookup(0x2000) != nil {
+		t.Error("conditional branch allocated a BIU entry")
+	}
+	b.Observe(trace.Record{PC: 0x3000, Class: trace.IndirectJmp, MT: true})
+	e := b.Lookup(0x3000)
+	if e == nil || !e.MT {
+		t.Fatal("MT indirect branch not recorded in the BIU")
+	}
+	// The MT bit is sticky: a later ST-looking execution does not clear it.
+	b.Observe(trace.Record{PC: 0x3000, Class: trace.IndirectJmp, MT: false})
+	if !b.Lookup(0x3000).MT {
+		t.Error("MT annotation bit was cleared")
+	}
+}
+
+func TestBIUBoundedEviction(t *testing.T) {
+	b := NewBIU(counter.Normal, 4)
+	for pc := uint64(0); pc < 10; pc++ {
+		b.Ensure(pc * 4)
+	}
+	if b.Len() != 4 {
+		t.Errorf("bounded BIU Len = %d, want 4", b.Len())
+	}
+	if b.Evictions() != 6 {
+		t.Errorf("Evictions = %d, want 6", b.Evictions())
+	}
+	// FIFO: the oldest six are gone, the newest four remain.
+	for pc := uint64(0); pc < 6; pc++ {
+		if b.Lookup(pc*4) != nil {
+			t.Errorf("evicted entry %#x still present", pc*4)
+		}
+	}
+	for pc := uint64(6); pc < 10; pc++ {
+		if b.Lookup(pc*4) == nil {
+			t.Errorf("recent entry %#x missing", pc*4)
+		}
+	}
+}
+
+func TestBIUReset(t *testing.T) {
+	b := NewBIU(counter.PIBBiased, 2)
+	b.Ensure(4)
+	b.Ensure(8)
+	b.Ensure(12)
+	b.Reset()
+	if b.Len() != 0 || b.Evictions() != 0 {
+		t.Error("Reset did not clear state")
+	}
+	if b.Lookup(4) != nil {
+		t.Error("entry survived Reset")
+	}
+}
+
+func TestBIUModePropagates(t *testing.T) {
+	// Three consecutive mispredictions from the initial Strongly-PIB state
+	// end at Strongly PIB under the biased machine (3->2->1->3) but at
+	// Weakly PIB under the normal machine (3->2->1->2).
+	biased := NewBIU(counter.PIBBiased, 0).Ensure(0x10)
+	normal := NewBIU(counter.Normal, 0).Ensure(0x10)
+	for i := 0; i < 3; i++ {
+		biased.Sel.Update(false)
+		normal.Sel.Update(false)
+	}
+	if biased.Sel.State() != counter.StronglyPIB {
+		t.Errorf("biased BIU counter state = %s, want Strongly PIB",
+			counter.StateName(biased.Sel.State()))
+	}
+	if normal.Sel.State() != counter.WeaklyPIB {
+		t.Errorf("normal BIU counter state = %s, want Weakly PIB",
+			counter.StateName(normal.Sel.State()))
+	}
+}

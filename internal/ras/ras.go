@@ -1,0 +1,93 @@
+// Package ras implements the Call/Return Stack of Kaeli & Emma (ISCA 1991),
+// the mechanism that makes subroutine returns near-perfectly predictable and
+// justifies the paper's exclusion of `ret` instructions from the indirect
+// predictor's workload.
+package ras
+
+import "repro/internal/trace"
+
+// Stack is a fixed-depth return address stack. When the stack overflows the
+// oldest entry is dropped (circular), matching common hardware behaviour.
+type Stack struct {
+	buf   []uint64
+	top   int // number of live entries, <= len(buf)
+	base  int // index of the oldest live entry in the ring
+	hits  uint64
+	preds uint64
+}
+
+// New creates a RAS with the given depth (must be >= 1).
+func New(depth int) *Stack {
+	if depth < 1 {
+		panic("ras: depth must be >= 1")
+	}
+	return &Stack{buf: make([]uint64, depth)}
+}
+
+// Depth returns the stack capacity.
+func (s *Stack) Depth() int { return len(s.buf) }
+
+// Len returns the number of live entries.
+func (s *Stack) Len() int { return s.top }
+
+// Push records a call's return address.
+func (s *Stack) Push(returnPC uint64) {
+	if s.top == len(s.buf) {
+		// Overflow: drop the oldest entry.
+		s.buf[s.base] = 0
+		s.base = (s.base + 1) % len(s.buf)
+		s.top--
+	}
+	idx := (s.base + s.top) % len(s.buf)
+	s.buf[idx] = returnPC
+	s.top++
+}
+
+// Peek returns the predicted return target without popping.
+func (s *Stack) Peek() (uint64, bool) {
+	if s.top == 0 {
+		return 0, false
+	}
+	idx := (s.base + s.top - 1) % len(s.buf)
+	return s.buf[idx], true
+}
+
+// Pop removes and returns the predicted return target.
+func (s *Stack) Pop() (uint64, bool) {
+	t, ok := s.Peek()
+	if ok {
+		s.top--
+	}
+	return t, ok
+}
+
+// Process drives the stack from a branch record stream: calls (direct and
+// indirect) push their fall-through address; returns pop a prediction and
+// the accuracy counters are advanced. It returns the predicted target and
+// whether a prediction was made, for Return records; other classes return
+// ok=false.
+func (s *Stack) Process(r trace.Record) (predicted uint64, ok bool) {
+	switch r.Class {
+	case trace.IndirectJsr, trace.JsrCoroutine, trace.DirectCall:
+		s.Push(r.PC + 4)
+	case trace.Return:
+		predicted, ok = s.Pop()
+		s.preds++
+		if ok && predicted == r.Target {
+			s.hits++
+		}
+		return predicted, ok
+	}
+	return 0, false
+}
+
+// Accuracy returns correct predictions and total return predictions.
+func (s *Stack) Accuracy() (hits, total uint64) { return s.hits, s.preds }
+
+// Reset clears the stack and counters.
+func (s *Stack) Reset() {
+	s.top, s.base, s.hits, s.preds = 0, 0, 0, 0
+	for i := range s.buf {
+		s.buf[i] = 0
+	}
+}

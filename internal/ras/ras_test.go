@@ -1,0 +1,110 @@
+package ras
+
+import (
+	"testing"
+
+	"repro/internal/trace"
+)
+
+func TestPushPopLIFO(t *testing.T) {
+	s := New(8)
+	s.Push(0x100)
+	s.Push(0x200)
+	s.Push(0x300)
+	for _, want := range []uint64{0x300, 0x200, 0x100} {
+		got, ok := s.Pop()
+		if !ok || got != want {
+			t.Fatalf("Pop = (%#x,%v), want %#x", got, ok, want)
+		}
+	}
+	if _, ok := s.Pop(); ok {
+		t.Fatal("Pop on empty stack succeeded")
+	}
+}
+
+func TestPeekDoesNotPop(t *testing.T) {
+	s := New(4)
+	s.Push(0xabc)
+	if got, ok := s.Peek(); !ok || got != 0xabc {
+		t.Fatalf("Peek = (%#x,%v)", got, ok)
+	}
+	if s.Len() != 1 {
+		t.Fatal("Peek consumed the entry")
+	}
+}
+
+func TestOverflowDropsOldest(t *testing.T) {
+	s := New(3)
+	for i := uint64(1); i <= 5; i++ {
+		s.Push(i * 0x10)
+	}
+	if s.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", s.Len())
+	}
+	for _, want := range []uint64{0x50, 0x40, 0x30} {
+		got, _ := s.Pop()
+		if got != want {
+			t.Fatalf("Pop = %#x, want %#x (oldest entries must be dropped)", got, want)
+		}
+	}
+}
+
+func TestProcessWellNestedCalls(t *testing.T) {
+	s := New(16)
+	// call A -> call B -> ret B -> ret A
+	s.Process(trace.Record{PC: 0x1000, Target: 0x5000, Class: trace.DirectCall, Taken: true})
+	s.Process(trace.Record{PC: 0x5010, Target: 0x6000, Class: trace.IndirectJsr, Taken: true})
+	if got, ok := s.Process(trace.Record{PC: 0x6020, Target: 0x5014, Class: trace.Return, Taken: true}); !ok || got != 0x5014 {
+		t.Fatalf("inner return predicted %#x", got)
+	}
+	if got, ok := s.Process(trace.Record{PC: 0x5020, Target: 0x1004, Class: trace.Return, Taken: true}); !ok || got != 0x1004 {
+		t.Fatalf("outer return predicted %#x", got)
+	}
+	hits, total := s.Accuracy()
+	if hits != 2 || total != 2 {
+		t.Errorf("accuracy = %d/%d, want 2/2", hits, total)
+	}
+}
+
+func TestProcessIgnoresNonCallClasses(t *testing.T) {
+	s := New(4)
+	s.Process(trace.Record{PC: 0x1000, Target: 0x2000, Class: trace.CondDirect, Taken: true})
+	s.Process(trace.Record{PC: 0x1000, Target: 0x2000, Class: trace.IndirectJmp, Taken: true, MT: true})
+	s.Process(trace.Record{PC: 0x1000, Target: 0x2000, Class: trace.UncondDirect, Taken: true})
+	if s.Len() != 0 {
+		t.Error("non-call classes pushed onto the RAS")
+	}
+}
+
+func TestProcessMispredictedReturn(t *testing.T) {
+	s := New(4)
+	s.Process(trace.Record{PC: 0x1000, Target: 0x5000, Class: trace.DirectCall, Taken: true})
+	// Return goes somewhere unexpected (longjmp-style).
+	s.Process(trace.Record{PC: 0x5020, Target: 0x9999, Class: trace.Return, Taken: true})
+	hits, total := s.Accuracy()
+	if hits != 0 || total != 1 {
+		t.Errorf("accuracy = %d/%d, want 0/1", hits, total)
+	}
+}
+
+func TestReset(t *testing.T) {
+	s := New(4)
+	s.Push(0x10)
+	s.Process(trace.Record{PC: 0x20, Target: 0x10, Class: trace.Return, Taken: true})
+	s.Reset()
+	if s.Len() != 0 {
+		t.Error("entries survived Reset")
+	}
+	if h, n := s.Accuracy(); h != 0 || n != 0 {
+		t.Error("counters survived Reset")
+	}
+}
+
+func TestNewPanicsOnBadDepth(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("New(0) did not panic")
+		}
+	}()
+	New(0)
+}

@@ -1,0 +1,123 @@
+// Package report renders fixed-width text tables and simple horizontal bar
+// charts for the experiment harness, so the regenerated Tables/Figures read
+// like the paper's.
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table accumulates rows of string cells under a header and renders them
+// with aligned columns.
+type Table struct {
+	title  string
+	header []string
+	rows   [][]string
+}
+
+// NewTable creates a table with the given title and column header.
+func NewTable(title string, header ...string) *Table {
+	return &Table{title: title, header: header}
+}
+
+// AddRow appends a row; short rows are padded with empty cells.
+func (t *Table) AddRow(cells ...string) {
+	row := make([]string, len(t.header))
+	copy(row, cells)
+	t.rows = append(t.rows, row)
+}
+
+// AddRowf appends a row formatting each cell with fmt.Sprint.
+func (t *Table) AddRowf(cells ...interface{}) {
+	row := make([]string, 0, len(cells))
+	for _, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row = append(row, fmt.Sprintf("%.2f", v))
+		default:
+			row = append(row, fmt.Sprint(c))
+		}
+	}
+	t.AddRow(row...)
+}
+
+// Render writes the table to w.
+func (t *Table) Render(w io.Writer) {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	if t.title != "" {
+		fmt.Fprintln(w, t.title)
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = pad(c, widths[i])
+		}
+		fmt.Fprintln(w, strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	line(t.header)
+	sep := make([]string, len(t.header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.rows {
+		line(row)
+	}
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// String renders the table to a string.
+func (t *Table) String() string {
+	var b strings.Builder
+	t.Render(&b)
+	return b.String()
+}
+
+// Bars renders a labelled horizontal bar chart of percentages (0-100),
+// mimicking the misprediction-ratio figures.
+func Bars(w io.Writer, title string, labels []string, values []float64, maxWidth int) {
+	if maxWidth <= 0 {
+		maxWidth = 50
+	}
+	if title != "" {
+		fmt.Fprintln(w, title)
+	}
+	labW := 0
+	maxV := 0.0
+	for i, l := range labels {
+		if len(l) > labW {
+			labW = len(l)
+		}
+		if values[i] > maxV {
+			maxV = values[i]
+		}
+	}
+	if maxV == 0 {
+		maxV = 1
+	}
+	for i, l := range labels {
+		n := int(values[i] / maxV * float64(maxWidth))
+		fmt.Fprintf(w, "%s  %6.2f%%  %s\n", pad(l, labW), values[i], strings.Repeat("#", n))
+	}
+}
+
+// Pct formats a ratio in [0,1] as a percentage string.
+func Pct(r float64) string { return fmt.Sprintf("%.2f", 100*r) }

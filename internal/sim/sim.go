@@ -1,0 +1,131 @@
+// Package sim is the trace-driven simulation engine: it drives committed
+// branch records through a set of indirect-branch predictors using the
+// protocol the paper's hardware implies — predict at fetch with the
+// pre-update history, resolve and train, then advance path history — and
+// accumulates the misprediction statistics of Section 5. A RAS is simulated
+// alongside to account for returns, which are excluded from the indirect
+// predictors' workload.
+package sim
+
+import (
+	"io"
+
+	"repro/internal/predictor"
+	"repro/internal/ras"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// Engine drives one record stream through any number of predictors.
+type Engine struct {
+	preds    []predictor.IndirectPredictor
+	counters []stats.Counters
+	ras      *ras.Stack
+	records  uint64
+	instrs   uint64
+}
+
+// New builds an engine over the given predictors. A 64-deep RAS is
+// simulated for return accounting.
+func New(preds ...predictor.IndirectPredictor) *Engine {
+	e := &Engine{
+		preds:    preds,
+		counters: make([]stats.Counters, len(preds)),
+		ras:      ras.New(64),
+	}
+	for i, p := range preds {
+		e.counters[i].Predictor = p.Name()
+	}
+	return e
+}
+
+// ValueAware is implemented by predictors that consume the switch variable
+// value carried by a record (the Case Block Table); the engine hands them
+// the value before Predict, modelling a fetch-stage value forward.
+type ValueAware interface {
+	SetValue(v uint32)
+}
+
+// Process feeds one committed branch record to every predictor.
+func (e *Engine) Process(r trace.Record) {
+	e.records++
+	e.instrs += uint64(r.Gap) + 1
+	if r.MTIndirect() {
+		for i, p := range e.preds {
+			if va, ok := p.(ValueAware); ok {
+				va.SetValue(r.Value)
+			}
+			target, ok := p.Predict(r.PC)
+			e.counters[i].Record(ok && target == r.Target, ok)
+			p.Update(r.PC, r.Target)
+		}
+	}
+	e.ras.Process(r)
+	for _, p := range e.preds {
+		p.Observe(r)
+	}
+}
+
+// ProcessAll feeds a slice of records.
+func (e *Engine) ProcessAll(recs []trace.Record) {
+	for _, r := range recs {
+		e.Process(r)
+	}
+}
+
+// ProcessReader streams records from a trace.Reader until EOF.
+func (e *Engine) ProcessReader(r *trace.Reader) error {
+	for {
+		rec, err := r.Read()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		e.Process(rec)
+	}
+}
+
+// Counters returns per-predictor accuracy counters, in predictor order.
+func (e *Engine) Counters() []stats.Counters { return e.counters }
+
+// CountersFor returns the counters of the named predictor, or false.
+func (e *Engine) CountersFor(name string) (stats.Counters, bool) {
+	for _, c := range e.counters {
+		if c.Predictor == name {
+			return c, true
+		}
+	}
+	return stats.Counters{}, false
+}
+
+// RAS exposes the simulated return address stack.
+func (e *Engine) RAS() *ras.Stack { return e.ras }
+
+// Records returns the number of branch records processed.
+func (e *Engine) Records() uint64 { return e.records }
+
+// Instructions returns the reconstructed instruction count (branches plus
+// their recorded gaps).
+func (e *Engine) Instructions() uint64 { return e.instrs }
+
+// Reset returns the engine and every resettable predictor to power-up
+// state.
+func (e *Engine) Reset() {
+	for i, p := range e.preds {
+		if r, ok := p.(predictor.Resetter); ok {
+			r.Reset()
+		}
+		e.counters[i] = stats.Counters{Predictor: p.Name()}
+	}
+	e.ras.Reset()
+	e.records, e.instrs = 0, 0
+}
+
+// Run is a convenience: build an engine, feed the records, return counters.
+func Run(recs []trace.Record, preds ...predictor.IndirectPredictor) []stats.Counters {
+	e := New(preds...)
+	e.ProcessAll(recs)
+	return e.Counters()
+}

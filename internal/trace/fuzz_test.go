@@ -1,0 +1,77 @@
+package trace
+
+import (
+	"bytes"
+	"io"
+	"testing"
+)
+
+// FuzzReader feeds arbitrary bytes to the trace decoder: it must never
+// panic and must either terminate with an error or consume the stream.
+func FuzzReader(f *testing.F) {
+	// Seed with a valid trace and a few mutations.
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	for _, r := range sampleRecords() {
+		_ = w.Write(r)
+	}
+	_ = w.Flush()
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add(valid[:len(valid)-3])
+	f.Add([]byte("IBT2"))
+	f.Add([]byte("IBT2\xff\xff\xff\xff\xff\xff\xff\xff\xff\xff\xff"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := NewReader(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		for i := 0; i < 100000; i++ {
+			_, err := r.Read()
+			if err == io.EOF {
+				return
+			}
+			if err != nil {
+				return // any error is acceptable; panics are not
+			}
+		}
+	})
+}
+
+// FuzzRoundTrip checks that any encodable record survives a round trip.
+func FuzzRoundTrip(f *testing.F) {
+	f.Add(uint64(0x120000000), uint64(0x140000abc), uint8(3), true, true, uint32(12), uint32(0))
+	f.Add(uint64(0), uint64(0), uint8(0), false, false, uint32(0), uint32(99))
+	f.Add(^uint64(0), uint64(1), uint8(6), true, false, ^uint32(0), ^uint32(0))
+
+	f.Fuzz(func(t *testing.T, pc, tgt uint64, class uint8, taken, mt bool, gap, value uint32) {
+		rec := Record{
+			PC: pc, Target: tgt, Class: Class(class % 7),
+			Taken: taken, MT: mt, Gap: gap, Value: value,
+		}
+		var buf bytes.Buffer
+		w, err := NewWriter(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Write(rec); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		r, err := NewReader(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := r.Read()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != rec {
+			t.Fatalf("round trip: got %+v, want %+v", got, rec)
+		}
+	})
+}

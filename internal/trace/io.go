@@ -1,0 +1,197 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Binary trace format:
+//
+//	magic   [4]byte  "IBT2" (Indirect Branch Trace, version 2)
+//	records *
+//
+// Each record is delta/varint encoded against the previous record to keep
+// traces compact:
+//
+//	flags   byte    bits 0-2 class, bit 3 taken, bit 4 MT, bit 5 value
+//	pcΔ     zigzag varint (PC - prevPC)
+//	tgtΔ    zigzag varint (Target - PC)
+//	gap     uvarint
+//	value   uvarint (present only when bit 5 set)
+const magic = "IBT2"
+
+// ErrBadMagic is returned by NewReader when the stream does not begin with
+// the trace file magic.
+var ErrBadMagic = errors.New("trace: bad magic (not an IBT2 trace)")
+
+const (
+	flagClassMask = 0x07
+	flagTaken     = 0x08
+	flagMT        = 0x10
+	flagValue     = 0x20
+)
+
+func zigzag(v int64) uint64   { return uint64(v<<1) ^ uint64(v>>63) }
+func unzigzag(v uint64) int64 { return int64(v>>1) ^ -int64(v&1) }
+
+// Writer encodes Records to an underlying io.Writer in IBT2 format.
+// Writers buffer internally; call Flush (or Close via the caller's file)
+// before the trace is read back.
+type Writer struct {
+	w      *bufio.Writer
+	prevPC uint64
+	count  uint64
+	buf    [4 * binary.MaxVarintLen64]byte
+	err    error
+}
+
+// NewWriter creates a Writer and emits the file header.
+func NewWriter(w io.Writer) (*Writer, error) {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	if _, err := bw.WriteString(magic); err != nil {
+		return nil, fmt.Errorf("trace: writing header: %w", err)
+	}
+	return &Writer{w: bw}, nil
+}
+
+// Write appends one record to the trace.
+func (w *Writer) Write(r Record) error {
+	if w.err != nil {
+		return w.err
+	}
+	if !r.Class.Valid() {
+		return fmt.Errorf("trace: invalid class %d", r.Class)
+	}
+	flags := byte(r.Class) & flagClassMask
+	if r.Taken {
+		flags |= flagTaken
+	}
+	if r.MT {
+		flags |= flagMT
+	}
+	if r.Value != 0 {
+		flags |= flagValue
+	}
+	if err := w.w.WriteByte(flags); err != nil {
+		w.err = err
+		return err
+	}
+	n := binary.PutUvarint(w.buf[:], zigzag(int64(r.PC-w.prevPC)))
+	n += binary.PutUvarint(w.buf[n:], zigzag(int64(r.Target-r.PC)))
+	n += binary.PutUvarint(w.buf[n:], uint64(r.Gap))
+	if r.Value != 0 {
+		n += binary.PutUvarint(w.buf[n:], uint64(r.Value))
+	}
+	if _, err := w.w.Write(w.buf[:n]); err != nil {
+		w.err = err
+		return err
+	}
+	w.prevPC = r.PC
+	w.count++
+	return nil
+}
+
+// Count returns the number of records written so far.
+func (w *Writer) Count() uint64 { return w.count }
+
+// Flush writes any buffered data to the underlying writer.
+func (w *Writer) Flush() error {
+	if w.err != nil {
+		return w.err
+	}
+	return w.w.Flush()
+}
+
+// Reader decodes Records from an IBT2 stream.
+type Reader struct {
+	r      *bufio.Reader
+	prevPC uint64
+	count  uint64
+}
+
+// NewReader validates the header and returns a Reader positioned at the
+// first record.
+func NewReader(r io.Reader) (*Reader, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	hdr := make([]byte, len(magic))
+	if _, err := io.ReadFull(br, hdr); err != nil {
+		return nil, fmt.Errorf("trace: reading header: %w", err)
+	}
+	if string(hdr) != magic {
+		return nil, ErrBadMagic
+	}
+	return &Reader{r: br}, nil
+}
+
+// Read returns the next record, or io.EOF at end of trace.
+func (r *Reader) Read() (Record, error) {
+	flags, err := r.r.ReadByte()
+	if err != nil {
+		if err == io.ErrUnexpectedEOF {
+			err = io.EOF
+		}
+		return Record{}, err
+	}
+	pcd, err := binary.ReadUvarint(r.r)
+	if err != nil {
+		return Record{}, truncated(err)
+	}
+	tgtd, err := binary.ReadUvarint(r.r)
+	if err != nil {
+		return Record{}, truncated(err)
+	}
+	gap, err := binary.ReadUvarint(r.r)
+	if err != nil {
+		return Record{}, truncated(err)
+	}
+	rec := Record{
+		Class: Class(flags & flagClassMask),
+		Taken: flags&flagTaken != 0,
+		MT:    flags&flagMT != 0,
+		Gap:   uint32(gap),
+	}
+	if flags&flagValue != 0 {
+		v, err := binary.ReadUvarint(r.r)
+		if err != nil {
+			return Record{}, truncated(err)
+		}
+		rec.Value = uint32(v)
+	}
+	rec.PC = r.prevPC + uint64(unzigzag(pcd))
+	rec.Target = rec.PC + uint64(unzigzag(tgtd))
+	if !rec.Class.Valid() {
+		return Record{}, fmt.Errorf("trace: corrupt record: invalid class %d", flags&flagClassMask)
+	}
+	r.prevPC = rec.PC
+	r.count++
+	return rec, nil
+}
+
+// Count returns the number of records read so far.
+func (r *Reader) Count() uint64 { return r.count }
+
+func truncated(err error) error {
+	if err == io.EOF {
+		return io.ErrUnexpectedEOF
+	}
+	return err
+}
+
+// ReadAll drains the reader into a slice. Intended for tests and moderate
+// trace sizes; large traces should be streamed with Read.
+func (r *Reader) ReadAll() ([]Record, error) {
+	var recs []Record
+	for {
+		rec, err := r.Read()
+		if err == io.EOF {
+			return recs, nil
+		}
+		if err != nil {
+			return recs, err
+		}
+		recs = append(recs, rec)
+	}
+}

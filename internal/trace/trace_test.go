@@ -1,0 +1,270 @@
+package trace
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestClassProperties(t *testing.T) {
+	cases := []struct {
+		c           Class
+		indirect    bool
+		conditional bool
+		name        string
+	}{
+		{CondDirect, false, true, "cond"},
+		{UncondDirect, false, false, "br"},
+		{DirectCall, false, false, "bsr"},
+		{IndirectJmp, true, false, "jmp"},
+		{IndirectJsr, true, false, "jsr"},
+		{Return, true, false, "ret"},
+		{JsrCoroutine, true, false, "jsr_coroutine"},
+	}
+	for _, c := range cases {
+		if c.c.Indirect() != c.indirect {
+			t.Errorf("%v.Indirect() = %v", c.c, c.c.Indirect())
+		}
+		if c.c.Conditional() != c.conditional {
+			t.Errorf("%v.Conditional() = %v", c.c, c.c.Conditional())
+		}
+		if c.c.String() != c.name {
+			t.Errorf("%v.String() = %q, want %q", c.c, c.c.String(), c.name)
+		}
+		if !c.c.Valid() {
+			t.Errorf("%v not valid", c.c)
+		}
+	}
+	if Class(200).Valid() {
+		t.Error("Class(200) reported valid")
+	}
+	if !strings.Contains(Class(200).String(), "200") {
+		t.Error("invalid class String should include the raw value")
+	}
+}
+
+func TestMTIndirect(t *testing.T) {
+	mt := Record{Class: IndirectJmp, MT: true}
+	if !mt.MTIndirect() {
+		t.Error("MT jmp not MTIndirect")
+	}
+	if (Record{Class: IndirectJmp, MT: false}).MTIndirect() {
+		t.Error("ST jmp is MTIndirect")
+	}
+	if (Record{Class: Return, MT: true}).MTIndirect() {
+		t.Error("ret counted as MTIndirect")
+	}
+	if (Record{Class: CondDirect, MT: true}).MTIndirect() {
+		t.Error("conditional counted as MTIndirect")
+	}
+}
+
+func TestPIBStream(t *testing.T) {
+	if !(Record{Class: IndirectJsr}).PIBStream() || !(Record{Class: IndirectJmp}).PIBStream() {
+		t.Error("jmp/jsr must be in the PIB stream")
+	}
+	if (Record{Class: Return}).PIBStream() {
+		t.Error("ret must not be in the PIB stream")
+	}
+}
+
+func TestRecordString(t *testing.T) {
+	r := Record{PC: 0x1000, Target: 0x2000, Class: IndirectJsr, Taken: true, MT: true, Gap: 7}
+	s := r.String()
+	for _, want := range []string{"jsr", "0x1000", "0x2000", "MT", "gap=7"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Record.String() = %q missing %q", s, want)
+		}
+	}
+}
+
+func sampleRecords() []Record {
+	return []Record{
+		{PC: 0x120000000, Target: 0x120000080, Class: CondDirect, Taken: true, Gap: 3},
+		{PC: 0x120000010, Target: 0x120000014, Class: CondDirect, Taken: false, Gap: 0},
+		{PC: 0x120000020, Target: 0x140000abc, Class: IndirectJmp, Taken: true, MT: true, Gap: 12},
+		{PC: 0x120000030, Target: 0x150000040, Class: DirectCall, Taken: true, Gap: 5},
+		{PC: 0x150000060, Target: 0x120000034, Class: Return, Taken: true, Gap: 2},
+		{PC: 0x120000040, Target: 0x160010000, Class: IndirectJsr, Taken: true, MT: false, Gap: 1},
+		{PC: 0x120000050, Target: 0x140000fe0, Class: IndirectJsr, Taken: true, MT: true, Gap: 0xffff},
+		{PC: 0x120000060, Target: 0x140001200, Class: IndirectJmp, Taken: true, MT: true, Gap: 3, Value: 17},
+	}
+}
+
+func TestIORoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := sampleRecords()
+	for _, r := range recs {
+		if err := w.Write(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if w.Count() != uint64(len(recs)) {
+		t.Errorf("writer Count = %d, want %d", w.Count(), len(recs))
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := r.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(recs) {
+		t.Fatalf("round trip %d records, want %d", len(got), len(recs))
+	}
+	for i := range recs {
+		if got[i] != recs[i] {
+			t.Errorf("record %d: got %+v, want %+v", i, got[i], recs[i])
+		}
+	}
+	if r.Count() != uint64(len(recs)) {
+		t.Errorf("reader Count = %d, want %d", r.Count(), len(recs))
+	}
+}
+
+func TestIORoundTripProperty(t *testing.T) {
+	f := func(pcs, tgts []uint64, classes []uint8, gaps []uint32) bool {
+		n := len(pcs)
+		for _, l := range []int{len(tgts), len(classes), len(gaps)} {
+			if l < n {
+				n = l
+			}
+		}
+		recs := make([]Record, n)
+		for i := 0; i < n; i++ {
+			recs[i] = Record{
+				PC:     pcs[i],
+				Target: tgts[i],
+				Class:  Class(classes[i] % 7),
+				Taken:  classes[i]%2 == 0,
+				MT:     classes[i]%3 == 0,
+				Gap:    gaps[i],
+				Value:  uint32(classes[i]) % 5,
+			}
+		}
+		var buf bytes.Buffer
+		w, err := NewWriter(&buf)
+		if err != nil {
+			return false
+		}
+		for _, r := range recs {
+			if err := w.Write(r); err != nil {
+				return false
+			}
+		}
+		if err := w.Flush(); err != nil {
+			return false
+		}
+		rd, err := NewReader(&buf)
+		if err != nil {
+			return false
+		}
+		got, err := rd.ReadAll()
+		if err != nil {
+			return false
+		}
+		if len(got) != n {
+			return false
+		}
+		for i := range got {
+			if got[i] != recs[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReaderBadMagic(t *testing.T) {
+	if _, err := NewReader(strings.NewReader("NOPE....")); err != ErrBadMagic {
+		t.Errorf("bad magic error = %v, want ErrBadMagic", err)
+	}
+	if _, err := NewReader(strings.NewReader("IB")); err == nil {
+		t.Error("short header accepted")
+	}
+}
+
+func TestReaderTruncatedRecord(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	_ = w.Write(sampleRecords()[0])
+	_ = w.Flush()
+	data := buf.Bytes()
+
+	// Chop the last byte: the final record must surface an error, not EOF.
+	r, err := NewReader(bytes.NewReader(data[:len(data)-1]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Read(); err != io.ErrUnexpectedEOF {
+		t.Errorf("truncated read error = %v, want ErrUnexpectedEOF", err)
+	}
+}
+
+func TestWriterRejectsInvalidClass(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	if err := w.Write(Record{Class: Class(99)}); err == nil {
+		t.Error("invalid class accepted")
+	}
+}
+
+func TestReaderEOF(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	_ = w.Flush()
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Read(); err != io.EOF {
+		t.Errorf("empty trace read error = %v, want EOF", err)
+	}
+}
+
+func BenchmarkWriter(b *testing.B) {
+	recs := sampleRecords()
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = w.Write(recs[i%len(recs)])
+		if buf.Len() > 1<<24 {
+			b.StopTimer()
+			buf.Reset()
+			b.StartTimer()
+		}
+	}
+}
+
+func BenchmarkReader(b *testing.B) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	recs := sampleRecords()
+	for i := 0; i < 10000; i++ {
+		_ = w.Write(recs[i%len(recs)])
+	}
+	_ = w.Flush()
+	data := buf.Bytes()
+	b.ResetTimer()
+	r, _ := NewReader(bytes.NewReader(data))
+	for i := 0; i < b.N; i++ {
+		if _, err := r.Read(); err == io.EOF {
+			r, _ = NewReader(bytes.NewReader(data))
+		}
+	}
+}

@@ -1,0 +1,169 @@
+// Package twolevel implements the two-level adaptive indirect-branch
+// predictors evaluated in Section 5 of the paper: GAp (Driesen & Hölzle),
+// the Target Cache (Chang et al.) and the Dual-path hybrid. All share a
+// Pattern History Table whose entries hold a full target, the 2-bit
+// replacement-hysteresis counter, a valid bit and (for the tagged variants
+// used inside the Cascade predictor) a tag with true-LRU replacement.
+package twolevel
+
+import (
+	"fmt"
+
+	"repro/internal/counter"
+)
+
+// PHTEntry is one target-holding entry.
+type PHTEntry struct {
+	valid  bool
+	tag    uint64
+	target uint64
+	hyst   counter.Hysteresis
+	lru    uint64
+}
+
+// Target returns the stored target; meaningful only when the entry is valid.
+func (e *PHTEntry) Target() uint64 { return e.target }
+
+// Valid reports whether the entry holds a target.
+func (e *PHTEntry) Valid() bool { return e.valid }
+
+// PHT is a pattern history table of targets, optionally tagged and
+// set-associative with true-LRU replacement (the organisation the Cascade
+// predictor requires).
+type PHT struct {
+	sets   [][]PHTEntry
+	assoc  int
+	tagged bool
+	clock  uint64
+}
+
+// NewPHT builds a table with the given total number of entries (power of
+// two) and associativity. tagged selects tag-matching lookup; tagless
+// tables must be direct mapped, as in the paper's tagless designs.
+func NewPHT(entries, assoc int, tagged bool) *PHT {
+	if entries <= 0 || entries&(entries-1) != 0 {
+		panic(fmt.Sprintf("twolevel: entries must be a positive power of two, got %d", entries))
+	}
+	if assoc <= 0 || entries%assoc != 0 {
+		panic(fmt.Sprintf("twolevel: associativity %d does not divide %d entries", assoc, entries))
+	}
+	if !tagged && assoc != 1 {
+		panic("twolevel: tagless tables must be direct mapped")
+	}
+	nsets := entries / assoc
+	sets := make([][]PHTEntry, nsets)
+	backing := make([]PHTEntry, entries)
+	for i := range sets {
+		sets[i], backing = backing[:assoc], backing[assoc:]
+	}
+	return &PHT{sets: sets, assoc: assoc, tagged: tagged}
+}
+
+// Sets returns the number of sets (the index space of the table).
+func (t *PHT) Sets() int { return len(t.sets) }
+
+// Entries returns the total entry count.
+func (t *PHT) Entries() int { return len(t.sets) * t.assoc }
+
+// IndexBits returns how many index bits the table consumes.
+func (t *PHT) IndexBits() uint {
+	n := uint(0)
+	for s := len(t.sets); s > 1; s >>= 1 {
+		n++
+	}
+	return n
+}
+
+// Lookup returns the entry for (index, tag): in a tagless table, the
+// direct-mapped slot; in a tagged table, the way whose tag matches, or nil
+// on a tag miss. Lookup does not modify LRU state; Touch does.
+func (t *PHT) Lookup(index, tag uint64) *PHTEntry {
+	set := t.sets[index&uint64(len(t.sets)-1)]
+	if !t.tagged {
+		e := &set[0]
+		if e.valid {
+			return e
+		}
+		return nil
+	}
+	for i := range set {
+		if set[i].valid && set[i].tag == tag {
+			return &set[i]
+		}
+	}
+	return nil
+}
+
+// Update trains the entry for (index, tag) with the actual target:
+// a hit on the stored target strengthens its hysteresis; a miss weakens it
+// and replaces the target after two consecutive misses. Missing entries are
+// allocated, displacing the LRU way in tagged tables. allocate=false
+// suppresses allocation (used by the Cascade filter protocol).
+func (t *PHT) Update(index, tag, target uint64, allocate bool) {
+	t.clock++
+	setIdx := index & uint64(len(t.sets)-1)
+	set := t.sets[setIdx]
+	if !t.tagged {
+		e := &set[0]
+		if !e.valid {
+			if allocate {
+				*e = PHTEntry{valid: true, target: target, hyst: counter.NewHysteresis()}
+			}
+			return
+		}
+		train(e, target)
+		return
+	}
+	var victim *PHTEntry
+	for i := range set {
+		if set[i].valid && set[i].tag == tag {
+			set[i].lru = t.clock
+			train(&set[i], target)
+			return
+		}
+		if victim == nil || !set[i].valid || (victim.valid && set[i].lru < victim.lru) {
+			if !set[i].valid || victim == nil || victim.valid {
+				victim = &set[i]
+			}
+		}
+	}
+	if !allocate {
+		return
+	}
+	*victim = PHTEntry{valid: true, tag: tag, target: target, hyst: counter.NewHysteresis(), lru: t.clock}
+}
+
+// Touch refreshes the LRU stamp of a tag-matching entry after a lookup hit.
+func (t *PHT) Touch(index, tag uint64) {
+	if !t.tagged {
+		return
+	}
+	t.clock++
+	set := t.sets[index&uint64(len(t.sets)-1)]
+	for i := range set {
+		if set[i].valid && set[i].tag == tag {
+			set[i].lru = t.clock
+			return
+		}
+	}
+}
+
+func train(e *PHTEntry, target uint64) {
+	if e.target == target {
+		e.hyst.OnHit()
+		return
+	}
+	if e.hyst.OnMiss() {
+		e.target = target
+	}
+}
+
+// Reset clears the table to power-up state.
+func (t *PHT) Reset() {
+	for _, set := range t.sets {
+		for i := range set {
+			set[i] = PHTEntry{}
+		}
+	}
+	t.clock = 0
+}

@@ -1,0 +1,282 @@
+package twolevel
+
+import (
+	"testing"
+
+	"repro/internal/history"
+	"repro/internal/trace"
+)
+
+func mtRec(pc, target uint64) trace.Record {
+	return trace.Record{PC: pc, Target: target, Class: trace.IndirectJmp, Taken: true, MT: true}
+}
+
+func TestPHTTaglessBasics(t *testing.T) {
+	p := NewPHT(8, 1, false)
+	if p.Sets() != 8 || p.Entries() != 8 || p.IndexBits() != 3 {
+		t.Fatalf("geometry: sets=%d entries=%d bits=%d", p.Sets(), p.Entries(), p.IndexBits())
+	}
+	if p.Lookup(3, 0) != nil {
+		t.Fatal("cold entry valid")
+	}
+	p.Update(3, 0, 0x100, true)
+	e := p.Lookup(3, 0)
+	if e == nil || e.Target() != 0x100 {
+		t.Fatal("update did not allocate")
+	}
+	// Tagless lookup ignores the tag argument entirely.
+	if p.Lookup(3, 999) == nil {
+		t.Fatal("tagless lookup rejected on tag")
+	}
+}
+
+func TestPHTHysteresis(t *testing.T) {
+	p := NewPHT(8, 1, false)
+	p.Update(0, 0, 0xA, true)
+	p.Update(0, 0, 0xA, true) // strengthen
+	p.Update(0, 0, 0xB, true) // miss 1
+	if p.Lookup(0, 0).Target() != 0xA {
+		t.Fatal("replaced too early")
+	}
+	p.Update(0, 0, 0xB, true) // miss 2
+	p.Update(0, 0, 0xB, true) // miss 3 -> replace (started from value 2)
+	if p.Lookup(0, 0).Target() != 0xB {
+		t.Fatal("never replaced")
+	}
+}
+
+func TestPHTNoAllocate(t *testing.T) {
+	p := NewPHT(8, 1, false)
+	p.Update(5, 0, 0x1, false)
+	if p.Lookup(5, 0) != nil {
+		t.Fatal("allocate=false still allocated")
+	}
+	// But existing entries still train.
+	p.Update(5, 0, 0x1, true)
+	p.Update(5, 0, 0x2, false)
+	p.Update(5, 0, 0x2, false)
+	p.Update(5, 0, 0x2, false)
+	if p.Lookup(5, 0).Target() != 0x2 {
+		t.Fatal("allocate=false blocked training of existing entry")
+	}
+}
+
+func TestPHTTaggedLRU(t *testing.T) {
+	p := NewPHT(8, 4, true) // 2 sets of 4 ways
+	// Fill one set with 4 tags.
+	for tag := uint64(1); tag <= 4; tag++ {
+		p.Update(0, tag, tag*0x10, true)
+	}
+	for tag := uint64(1); tag <= 4; tag++ {
+		if e := p.Lookup(0, tag); e == nil || e.Target() != tag*0x10 {
+			t.Fatalf("tag %d missing after fill", tag)
+		}
+	}
+	// Touch tag 1 so tag 2 becomes LRU, then insert tag 5.
+	p.Touch(0, 1)
+	p.Update(0, 5, 0x50, true)
+	if p.Lookup(0, 2) != nil {
+		t.Error("LRU victim (tag 2) survived")
+	}
+	if p.Lookup(0, 1) == nil || p.Lookup(0, 5) == nil {
+		t.Error("recently used or new entry missing")
+	}
+}
+
+func TestPHTTaggedMissOnWrongTag(t *testing.T) {
+	p := NewPHT(8, 2, true)
+	p.Update(1, 7, 0x70, true)
+	if p.Lookup(1, 8) != nil {
+		t.Error("tag mismatch returned an entry")
+	}
+}
+
+func TestPHTPanicsOnBadGeometry(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewPHT(7, 1, false) },
+		func() { NewPHT(8, 3, true) },
+		func() { NewPHT(8, 2, false) }, // tagless must be direct mapped
+		func() { NewPHT(0, 1, false) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("bad geometry did not panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+// driveCycle feeds a deterministic cyclic target pattern at one site to a
+// predictor and returns its accuracy after warm-up.
+func driveCycle(t *testing.T, predict func(uint64) (uint64, bool), update func(uint64, uint64), observe func(trace.Record), targets []uint64, n int) float64 {
+	t.Helper()
+	const pc = 0x120004c0
+	correct, total := 0, 0
+	for i := 0; i < n; i++ {
+		want := targets[i%len(targets)]
+		got, ok := predict(pc)
+		if i > n/4 {
+			total++
+			if ok && got == want {
+				correct++
+			}
+		}
+		update(pc, want)
+		observe(mtRec(pc, want))
+	}
+	return float64(correct) / float64(total)
+}
+
+func TestGApLearnsPathPattern(t *testing.T) {
+	g := PaperGAp()
+	targets := []uint64{0x14000af4, 0x1400b128, 0x1400c75c, 0x1400d390}
+	if acc := driveCycle(t, g.Predict, g.Update, g.Observe, targets, 2000); acc < 0.98 {
+		t.Errorf("GAp accuracy on 4-cycle = %.3f, want >= 0.98", acc)
+	}
+}
+
+func TestTargetCacheLearnsPathPattern(t *testing.T) {
+	tc := PaperTCPIB()
+	targets := []uint64{0x14000af4, 0x1400b128, 0x1400c75c, 0x1400d390}
+	if acc := driveCycle(t, tc.Predict, tc.Update, tc.Observe, targets, 2000); acc < 0.98 {
+		t.Errorf("TC accuracy on 4-cycle = %.3f, want >= 0.98", acc)
+	}
+}
+
+func TestTargetCacheImmediateUpdate(t *testing.T) {
+	tc := NewTargetCache(TargetCacheConfig{
+		Entries: 64, HistoryBits: 6, BitsPerTarget: 2,
+		HistoryStream: history.IndirectBranches,
+	})
+	const pc = 0x1200
+	tc.Predict(pc)
+	tc.Update(pc, 0xA0)
+	tc.Predict(pc)
+	tc.Update(pc, 0xB0)
+	// TC replaces immediately: with frozen history the same index now
+	// holds B.
+	if got, _ := tc.Predict(pc); got != 0xB0 {
+		t.Fatalf("TC did not replace immediately: %#x", got)
+	}
+}
+
+func TestDualPathSelectsBetterComponent(t *testing.T) {
+	d := PaperDualPath()
+	// A pattern needing path length >1: target depends on the previous
+	// two targets. The long (path 3) component can capture it; the short
+	// (path 1) can only partially.
+	targets := []uint64{0x14000af4, 0x1400b128, 0x14000af4, 0x1400c75c, 0x1400b128, 0x1400d390}
+	if acc := driveCycle(t, d.Predict, d.Update, d.Observe, targets, 4000); acc < 0.95 {
+		t.Errorf("Dpath accuracy on order-2 cycle = %.3f, want >= 0.95", acc)
+	}
+}
+
+func TestDualPathFallsBackAcrossComponents(t *testing.T) {
+	d := PaperDualPath()
+	// First prediction: both components cold -> no prediction, not a
+	// crash.
+	if _, ok := d.Predict(0x1200); ok {
+		t.Fatal("cold Dpath predicted")
+	}
+	d.Update(0x1200, 0x4000)
+	d.Observe(mtRec(0x1200, 0x4000))
+	if _, ok := d.Predict(0x1200); !ok {
+		t.Fatal("Dpath did not predict after training")
+	}
+	if !d.Hit() {
+		t.Fatal("Hit() false after a component hit")
+	}
+}
+
+func TestGApUpdateAllocFalse(t *testing.T) {
+	g := NewGAp(GApConfig{
+		Entries: 64, PHTs: 1, Assoc: 1, PathLength: 2, BitsPerTarget: 2,
+		HistoryStream: history.IndirectBranches, Indexing: GShare,
+	})
+	g.Predict(0x1200)
+	g.UpdateAlloc(0x1200, 0x40, false)
+	if _, ok := g.Predict(0x1200); ok {
+		t.Fatal("UpdateAlloc(false) allocated")
+	}
+}
+
+func TestResets(t *testing.T) {
+	g := PaperGAp()
+	tc := PaperTCPIB()
+	d := PaperDualPath()
+	for i := 0; i < 50; i++ {
+		tgt := uint64(0x14000000 + i*0x40)
+		for _, p := range []interface {
+			Predict(uint64) (uint64, bool)
+			Update(uint64, uint64)
+			Observe(trace.Record)
+		}{g, tc, d} {
+			p.Predict(0x1200)
+			p.Update(0x1200, tgt)
+			p.Observe(mtRec(0x1200, tgt))
+		}
+	}
+	g.Reset()
+	tc.Reset()
+	d.Reset()
+	if _, ok := g.Predict(0x1200); ok {
+		t.Error("GAp survived Reset")
+	}
+	if _, ok := tc.Predict(0x1200); ok {
+		t.Error("TC survived Reset")
+	}
+	if _, ok := d.Predict(0x1200); ok {
+		t.Error("Dpath survived Reset")
+	}
+}
+
+func TestPaperBudgets(t *testing.T) {
+	if got := PaperGAp().Entries(); got != 2048 {
+		t.Errorf("GAp entries = %d, want 2048", got)
+	}
+	if got := PaperTCPIB().Entries(); got != 2048 {
+		t.Errorf("TC entries = %d, want 2048", got)
+	}
+	if got := PaperDualPath().Entries(); got != 2048 {
+		t.Errorf("Dpath entries = %d, want 2048", got)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	bads := []GApConfig{
+		{Entries: 100, PHTs: 1, Assoc: 1, PathLength: 1, BitsPerTarget: 2},
+		{Entries: 64, PHTs: 3, Assoc: 1, PathLength: 1, BitsPerTarget: 2},
+		{Entries: 64, PHTs: 1, Assoc: 1, PathLength: 0, BitsPerTarget: 2},
+		{Entries: 64, PHTs: 1, Assoc: 1, PathLength: 1, BitsPerTarget: 0},
+		{Entries: 64, PHTs: 1, Assoc: 1, PathLength: 1, BitsPerTarget: 40},
+	}
+	for i, cfg := range bads {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("config %d did not panic", i)
+				}
+			}()
+			NewGAp(cfg)
+		}()
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("bad TC config did not panic")
+			}
+		}()
+		NewTargetCache(TargetCacheConfig{Entries: 63, HistoryBits: 4, BitsPerTarget: 2})
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("bad Dpath selector count did not panic")
+			}
+		}()
+		NewDualPath(DualPathConfig{Selectors: 3})
+	}()
+}

@@ -1,0 +1,74 @@
+// Package workload generates synthetic Alpha-like branch trace streams that
+// stand in for the paper's ATOM-captured traces. Each benchmark is modelled
+// as a weighted set of indirect branch sites whose next target is a
+// deterministic-plus-noise function of the actual emitted path history, so
+// the statistical structure the predictors exploit (correlation type and
+// order, polymorphism degree, entropy, hot-site aliasing) is reproduced
+// even though the instruction streams are synthetic. See DESIGN.md for the
+// substitution rationale.
+package workload
+
+import "math"
+
+// RNG is a splitmix64 pseudo-random generator: tiny, fast, and fully
+// deterministic per seed so every experiment is reproducible bit-for-bit.
+type RNG struct {
+	state uint64
+}
+
+// NewRNG seeds a generator. Seed 0 is remapped so the stream is never
+// degenerate.
+func NewRNG(seed uint64) *RNG {
+	if seed == 0 {
+		seed = 0x9e3779b97f4a7c15
+	}
+	return &RNG{state: seed}
+}
+
+// Uint64 returns the next 64 pseudo-random bits.
+func (r *RNG) Uint64() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return z
+}
+
+// Intn returns a pseudo-random int in [0, n). n must be positive.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("workload: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Float64 returns a pseudo-random float64 in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / float64(1<<53)
+}
+
+// Bool returns true with probability p.
+func (r *RNG) Bool(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return r.Float64() < p
+}
+
+// Poissonish returns a small non-negative count with the given mean,
+// using a geometric-ish draw that is cheap and adequate for instruction
+// gap jitter (exact Poisson sampling is unnecessary for this purpose).
+func (r *RNG) Poissonish(mean float64) int {
+	if mean <= 0 {
+		return 0
+	}
+	// Draw uniformly in [0.5*mean, 1.5*mean] and round.
+	v := mean * (0.5 + r.Float64())
+	return int(math.Round(v))
+}
