@@ -1,0 +1,39 @@
+# Build and verification entry points. `make ci` is what .github/workflows/ci.yml
+# runs; every target works offline with only the Go toolchain installed.
+
+GO      ?= go
+FUZZTIME ?= 30s
+
+.PHONY: all build test race lint fmt vet ppmlint fuzz-smoke ci
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# gofmt -l prints offending files; fail loudly instead of silently succeeding.
+fmt:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needs to be run on:"; echo "$$out"; exit 1; fi
+
+vet:
+	$(GO) vet ./...
+
+# The repository's own analyzers: determinism, pow2mask, panicdoc, ifaceassert.
+ppmlint:
+	$(GO) run ./cmd/ppmlint ./...
+
+lint: fmt vet ppmlint
+
+# A short fuzz of the trace reader keeps the parser honest against corpus
+# drift without turning CI into a fuzzing farm.
+fuzz-smoke:
+	$(GO) test -run='^$$' -fuzz=FuzzReader -fuzztime=$(FUZZTIME) ./internal/trace
+
+ci: build lint race fuzz-smoke

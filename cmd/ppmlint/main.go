@@ -1,0 +1,96 @@
+// Command ppmlint runs the repository's custom static analyzers — the
+// machine-checked simulator invariants — over the packages matching the given
+// patterns (default ./...):
+//
+//	determinism  no wall-clock/global randomness; map iteration order must
+//	             not reach output or unsorted slices (//lint:sorted escapes)
+//	pow2mask     &(n-1) index masks trace to constructor-validated
+//	             power-of-two sizes
+//	panicdoc     exported functions that can panic document it; messages use
+//	             the `pkg: <reason>` format
+//	ifaceassert  IndirectPredictor implementations carry compile-time
+//	             var _ I = (*T)(nil) assertions
+//
+// ppmlint prints each finding as file:line:col: message [analyzer] and exits
+// non-zero when there are findings, so `make lint` and CI fail on them.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/lint"
+	"repro/internal/lint/determinism"
+	"repro/internal/lint/ifaceassert"
+	"repro/internal/lint/panicdoc"
+	"repro/internal/lint/pow2mask"
+)
+
+var analyzers = []*lint.Analyzer{
+	determinism.Analyzer,
+	ifaceassert.Analyzer,
+	panicdoc.Analyzer,
+	pow2mask.Analyzer,
+}
+
+func main() {
+	only := flag.String("run", "", "comma-separated analyzer names to run (default: all)")
+	flag.Usage = usage
+	flag.Parse()
+
+	selected, err := selectAnalyzers(*only)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ppmlint:", err)
+		os.Exit(2)
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	pkgs, err := lint.Load("", patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ppmlint:", err)
+		os.Exit(2)
+	}
+	diags, err := lint.Run(pkgs, selected)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ppmlint:", err)
+		os.Exit(2)
+	}
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		os.Exit(1)
+	}
+}
+
+func selectAnalyzers(only string) ([]*lint.Analyzer, error) {
+	if only == "" {
+		return analyzers, nil
+	}
+	byName := map[string]*lint.Analyzer{}
+	for _, a := range analyzers {
+		byName[a.Name] = a
+	}
+	var out []*lint.Analyzer
+	for _, name := range strings.Split(only, ",") {
+		a, ok := byName[strings.TrimSpace(name)]
+		if !ok {
+			return nil, fmt.Errorf("unknown analyzer %q", name)
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, "usage: ppmlint [-run a,b] [packages]\n\nanalyzers:\n")
+	for _, a := range analyzers {
+		fmt.Fprintf(os.Stderr, "  %-12s %s\n", a.Name, a.Doc)
+	}
+}

@@ -32,12 +32,13 @@ type BTB struct {
 	}
 }
 
-// New returns a plain tagless BTB with the given number of entries
-// (power of two).
+// New returns a plain tagless BTB with the given number of entries.
+// Panics if entries is not a positive power of two.
 func New(entries int) *BTB { return newBTB("BTB", entries, false) }
 
 // New2b returns a BTB2b: a tagless BTB whose entries carry the 2-bit
-// hysteresis counter of Calder & Grunwald.
+// hysteresis counter of Calder & Grunwald. Panics if entries is not a
+// positive power of two.
 func New2b(entries int) *BTB { return newBTB("BTB2b", entries, true) }
 
 func newBTB(name string, entries int, hysteresis bool) *BTB {
@@ -105,6 +106,7 @@ var (
 	_ predictor.IndirectPredictor = (*BTB)(nil)
 	_ predictor.Sized             = (*BTB)(nil)
 	_ predictor.Resetter          = (*BTB)(nil)
+	_ predictor.Costed            = (*BTB)(nil)
 )
 
 // Bits implements predictor.Costed: each entry stores a 30-bit target and

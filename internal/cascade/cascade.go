@@ -230,6 +230,7 @@ var (
 	_ predictor.IndirectPredictor = (*Cascade)(nil)
 	_ predictor.Sized             = (*Cascade)(nil)
 	_ predictor.Resetter          = (*Cascade)(nil)
+	_ predictor.Costed            = (*Cascade)(nil)
 )
 
 // Bits implements predictor.Costed: the filter pays for its tags — the

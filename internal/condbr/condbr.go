@@ -77,6 +77,7 @@ type PPM struct {
 }
 
 // NewPPM builds an order-m PPM direction predictor.
+// Panics if order is outside [0,30].
 func NewPPM(order int) *PPM {
 	if order < 0 || order > 30 {
 		panic(fmt.Sprintf("condbr: order must be in [0,30], got %d", order))
@@ -151,8 +152,8 @@ type Bimodal struct {
 	table []uint8
 }
 
-// NewBimodal builds a bimodal predictor with `entries` counters (power of
-// two), initialized weakly taken.
+// NewBimodal builds a bimodal predictor with `entries` counters, initialized
+// weakly taken. Panics if entries is not a positive power of two.
 func NewBimodal(entries int) *Bimodal {
 	if entries <= 0 || entries&(entries-1) != 0 {
 		panic(fmt.Sprintf("condbr: entries must be a positive power of two, got %d", entries))
@@ -190,7 +191,7 @@ type GAg struct {
 }
 
 // NewGAg builds a GAg with the given history length; the PHT has 2^histBits
-// counters.
+// counters. Panics if histBits is outside [1,24].
 func NewGAg(histBits uint) *GAg {
 	if histBits == 0 || histBits > 24 {
 		panic(fmt.Sprintf("condbr: history bits must be in [1,24], got %d", histBits))

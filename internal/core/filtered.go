@@ -39,7 +39,7 @@ type filterEntry struct {
 }
 
 // NewFiltered wraps a PPM predictor with a leaky filter of the given entry
-// count (power of two).
+// count. Panics if filterEntries is not a positive power of two.
 func NewFiltered(ppm *PPM, filterEntries int) *FilteredPPM {
 	if filterEntries <= 0 || filterEntries&(filterEntries-1) != 0 {
 		panic(fmt.Sprintf("core: filter entries must be a positive power of two, got %d", filterEntries))

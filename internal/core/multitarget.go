@@ -36,7 +36,7 @@ type MultiMarkovTable struct {
 }
 
 // NewMultiMarkovTable builds the order-j table with 2^order states of k
-// arcs each.
+// arcs each. Panics if k < 1.
 func NewMultiMarkovTable(order uint, k int) *MultiMarkovTable {
 	if k < 1 {
 		panic("core: multi-target slots must be >= 1")

@@ -352,6 +352,7 @@ var (
 	_ predictor.IndirectPredictor = (*PPM)(nil)
 	_ predictor.Sized             = (*PPM)(nil)
 	_ predictor.Resetter          = (*PPM)(nil)
+	_ predictor.Costed            = (*PPM)(nil)
 )
 
 // Bits implements predictor.Costed: the Markov stack entries plus the two

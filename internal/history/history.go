@@ -76,7 +76,7 @@ type PHR struct {
 
 // New creates a PHR of the given depth over the given stream. bitsPer
 // configures the packed shift-register view (bits recorded per target);
-// packedBits bounds the register width. depth must be >= 1.
+// packedBits bounds the register width. Panics if depth < 1.
 func New(stream Stream, depth int, bitsPer, packedBits uint) *PHR {
 	if depth < 1 {
 		panic("history: depth must be >= 1")

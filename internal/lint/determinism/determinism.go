@@ -1,0 +1,246 @@
+// Package determinism implements the ppmlint analyzer that keeps the
+// simulator bit-reproducible: every number in EXPERIMENTS.md depends on a
+// given workload Config producing the same records, counters and report text
+// on every run, so sources of run-to-run variation are banned from
+// non-test code.
+//
+// Two rules are enforced:
+//
+//  1. No wall-clock or global-generator randomness: time.Now (and friends)
+//     and the package-level math/rand generators are forbidden. Workloads
+//     draw randomness from the seeded splitmix64 RNG in internal/workload.
+//
+//  2. Map iteration must not reach output unordered: a `range` over a map
+//     whose body appends to a slice is flagged unless the slice is passed to
+//     a sort.* / slices.* call later in the same function (the
+//     analysis.Profiles sort-after-range pattern is the blessed idiom), and
+//     a range-over-map body that prints or writes directly is always
+//     flagged. The `//lint:sorted` comment on (or above) the range statement
+//     is the escape hatch for loops whose order provably cannot matter.
+package determinism
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"repro/internal/lint"
+)
+
+// Analyzer is the determinism checker.
+var Analyzer = &lint.Analyzer{
+	Name: "determinism",
+	Doc:  "forbid wall-clock/global randomness and unordered map iteration that reaches output",
+	Run:  run,
+}
+
+// bannedFuncs maps package path -> function names whose use breaks
+// reproducibility. For the math/rand packages the names list is nil, meaning
+// every package-level function EXCEPT the New* constructors: the global
+// generator is unseeded shared state, while rand.New(rand.NewSource(seed))
+// is explicitly seeded and therefore reproducible.
+var bannedFuncs = map[string][]string{
+	"time":         {"Now", "Since", "Until"},
+	"math/rand":    nil,
+	"math/rand/v2": nil,
+}
+
+func run(pass *lint.Pass) error {
+	for _, file := range pass.Files {
+		escapes := lint.EscapeLines(pass.Fset, file, "sorted")
+		ast.Inspect(file, func(n ast.Node) bool {
+			if sel, ok := n.(*ast.SelectorExpr); ok {
+				checkBannedRef(pass, sel)
+			}
+			return true
+		})
+		// Range statements are examined with their enclosing function in
+		// hand, so the sort-after-range idiom can be recognized.
+		lint.WalkStack(file, func(n ast.Node, stack []ast.Node) {
+			rng, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return
+			}
+			t := pass.TypesInfo.TypeOf(rng.X)
+			if t == nil {
+				return
+			}
+			if _, isMap := t.Underlying().(*types.Map); !isMap {
+				return
+			}
+			if lint.Escaped(pass.Fset, escapes, rng.Pos()) {
+				return
+			}
+			checkMapRange(pass, rng, enclosingFuncBody(stack))
+		})
+	}
+	return nil
+}
+
+// checkBannedRef reports selector references to the banned
+// nondeterminism sources.
+func checkBannedRef(pass *lint.Pass, sel *ast.SelectorExpr) {
+	obj := pass.TypesInfo.ObjectOf(sel.Sel)
+	if obj == nil || obj.Pkg() == nil {
+		return
+	}
+	names, banned := bannedFuncs[obj.Pkg().Path()]
+	if !banned {
+		return
+	}
+	// Only package-level functions and variables are banned; methods on
+	// values (e.g. a local *rand.Rand with a fixed seed) carry their
+	// determinism in their construction and are out of scope here.
+	if _, isFunc := obj.(*types.Func); isFunc {
+		if sig, ok := obj.Type().(*types.Signature); ok && sig.Recv() != nil {
+			return
+		}
+	} else if _, isVar := obj.(*types.Var); !isVar {
+		return
+	}
+	if names == nil {
+		if strings.HasPrefix(obj.Name(), "New") {
+			return // explicitly seeded local generators are reproducible
+		}
+		pass.Reportf(sel.Pos(), "use of %s.%s breaks run-to-run reproducibility; use the seeded workload RNG", obj.Pkg().Path(), obj.Name())
+		return
+	}
+	for _, n := range names {
+		if obj.Name() == n {
+			pass.Reportf(sel.Pos(), "use of %s.%s breaks run-to-run reproducibility; derive timing-free results or thread a deterministic counter", obj.Pkg().Path(), obj.Name())
+			return
+		}
+	}
+}
+
+// enclosingFuncBody returns the body of the innermost function declaration or
+// literal on the stack, or nil.
+func enclosingFuncBody(stack []ast.Node) *ast.BlockStmt {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch f := stack[i].(type) {
+		case *ast.FuncDecl:
+			return f.Body
+		case *ast.FuncLit:
+			return f.Body
+		}
+	}
+	return nil
+}
+
+// checkMapRange flags a range-over-map whose iteration order can escape:
+// either directly (printing/writing inside the body) or via a slice that is
+// appended to and never deterministically sorted afterwards.
+func checkMapRange(pass *lint.Pass, rng *ast.RangeStmt, funcBody *ast.BlockStmt) {
+	var appendTargets []types.Object
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.CallExpr:
+			if name, ok := outputCall(pass.TypesInfo, x); ok {
+				pass.Reportf(rng.Pos(), "map iteration order reaches output via %s; iterate a sorted key slice instead (or mark //lint:sorted if order cannot matter)", name)
+				return false
+			}
+		case *ast.AssignStmt:
+			for i, rhs := range x.Rhs {
+				call, ok := rhs.(*ast.CallExpr)
+				if !ok {
+					continue
+				}
+				if id, ok := call.Fun.(*ast.Ident); !ok || id.Name != "append" {
+					continue
+				}
+				if i < len(x.Lhs) {
+					if obj := lint.ObjectOf(pass.TypesInfo, x.Lhs[i]); obj != nil {
+						// Only slices that outlive the loop can leak its
+						// order; loop-local accumulators cannot. Struct
+						// fields always outlive it.
+						outlives := obj.Pos() < rng.Pos()
+						if v, ok := obj.(*types.Var); ok && v.IsField() {
+							outlives = true
+						}
+						if outlives {
+							appendTargets = append(appendTargets, obj)
+						}
+					}
+				}
+			}
+		}
+		return true
+	})
+	for _, obj := range appendTargets {
+		if !sortedAfter(pass.TypesInfo, funcBody, obj, rng.End()) {
+			pass.Reportf(rng.Pos(), "slice %q accumulates map keys/values in map order and is never sorted; sort it before use (the analysis.Profiles pattern) or mark //lint:sorted", obj.Name())
+		}
+	}
+}
+
+// outputCall reports whether call prints or writes: an fmt.Print*/Fprint*
+// call, or a method call named like an io writer.
+func outputCall(info *types.Info, call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	obj := info.ObjectOf(sel.Sel)
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		return "", false
+	}
+	if fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+		return "fmt." + fn.Name(), true
+	}
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		switch fn.Name() {
+		case "Write", "WriteString", "WriteByte", "WriteRune", "Print", "Printf", "Println", "Fprintf", "AddRow", "AddRowf":
+			return fn.Name(), true
+		}
+	}
+	return "", false
+}
+
+// sortedAfter reports whether, after end, the function body contains a
+// sort.* or slices.* call that mentions obj.
+func sortedAfter(info *types.Info, body *ast.BlockStmt, obj types.Object, end token.Pos) bool {
+	if body == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < end {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		fn, ok := info.ObjectOf(sel.Sel).(*types.Func)
+		if !ok || fn.Pkg() == nil {
+			return true
+		}
+		if p := fn.Pkg().Path(); p != "sort" && p != "slices" {
+			return true
+		}
+		for _, arg := range call.Args {
+			mentioned := false
+			ast.Inspect(arg, func(a ast.Node) bool {
+				if e, ok := a.(ast.Expr); ok {
+					if lint.ObjectOf(info, e) == obj {
+						mentioned = true
+						return false
+					}
+				}
+				return true
+			})
+			if mentioned {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}

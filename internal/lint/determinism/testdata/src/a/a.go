@@ -1,0 +1,63 @@
+// Package a exercises the determinism analyzer: wall-clock and global
+// math/rand references are banned, and map iteration must not leak its order
+// into output or unsorted accumulator slices.
+package a
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// Stamp leaks wall-clock time into a result.
+func Stamp() int64 {
+	return time.Now().UnixNano() // want `use of time\.Now breaks run-to-run reproducibility`
+}
+
+// GlobalRand draws from the shared unseeded generator.
+func GlobalRand() int {
+	return rand.Intn(8) // want `use of math/rand\.Intn breaks run-to-run reproducibility`
+}
+
+// LocalRand draws from an explicitly seeded local generator, which is
+// reproducible and therefore allowed.
+func LocalRand() int {
+	r := rand.New(rand.NewSource(1))
+	return r.Intn(8)
+}
+
+// PrintAll lets map iteration order reach output directly.
+func PrintAll(m map[string]int) {
+	for k, v := range m { // want `map iteration order reaches output via fmt\.Println`
+		fmt.Println(k, v)
+	}
+}
+
+// Keys accumulates map keys in iteration order and never sorts them.
+func Keys(m map[string]int) []string {
+	var out []string
+	for k := range m { // want `slice "out" accumulates map keys/values in map order`
+		out = append(out, k)
+	}
+	return out
+}
+
+// SortedKeys follows the blessed sort-after-range idiom.
+func SortedKeys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Sum is order-independent, so the loop carries the escape hatch.
+func Sum(m map[string]int) int {
+	total := 0
+	for _, v := range m { //lint:sorted commutative reduction
+		total += v
+	}
+	return total
+}

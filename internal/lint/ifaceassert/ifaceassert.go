@@ -1,0 +1,178 @@
+// Package ifaceassert implements the ppmlint analyzer enforcing the
+// repository's compile-time conformance convention: every concrete type that
+// implements predictor.IndirectPredictor must carry a package-level
+//
+//	var _ predictor.IndirectPredictor = (*T)(nil)
+//
+// assertion — and likewise for each of the optional capability interfaces
+// (predictor.Resetter, predictor.Sized, predictor.Costed) the type
+// implements. The assertions turn an accidental method-set change (renaming
+// Update, changing a signature) into a build failure in the package that owns
+// the type, instead of a type error at a distant call site or, worse, a
+// silently skipped capability in the harness's interface upgrades.
+package ifaceassert
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/lint"
+)
+
+// Analyzer is the interface-assertion checker.
+var Analyzer = &lint.Analyzer{
+	Name: "ifaceassert",
+	Doc:  "concrete IndirectPredictor implementations must carry var _ I = (*T)(nil) assertions for every predictor interface they satisfy",
+	Run:  run,
+}
+
+const predictorPath = "repro/internal/predictor"
+
+// capability interfaces checked, in report order. IndirectPredictor gates the
+// whole check: types not implementing it (engines, tables, caches) are exempt.
+var ifaceNames = []string{"IndirectPredictor", "Resetter", "Sized", "Costed"}
+
+func run(pass *lint.Pass) error {
+	ifaces := resolveInterfaces(pass.Pkg)
+	if ifaces == nil {
+		return nil // package does not use the predictor contract
+	}
+
+	asserted := collectAssertions(pass, ifaces)
+
+	scope := pass.Pkg.Scope()
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if ok && !tn.IsAlias() {
+			checkType(pass, tn, ifaces, asserted)
+		}
+	}
+	return nil
+}
+
+// resolveInterfaces finds the four predictor interfaces from the package's
+// direct imports (or the package itself), keyed by name. Returns nil when the
+// predictor package is not in scope.
+func resolveInterfaces(pkg *types.Package) map[string]*types.Interface {
+	var ppkg *types.Package
+	if pkg.Path() == predictorPath {
+		ppkg = pkg
+	} else {
+		for _, imp := range pkg.Imports() {
+			if imp.Path() == predictorPath {
+				ppkg = imp
+				break
+			}
+		}
+	}
+	if ppkg == nil {
+		return nil
+	}
+	out := map[string]*types.Interface{}
+	for _, name := range ifaceNames {
+		tn, ok := ppkg.Scope().Lookup(name).(*types.TypeName)
+		if !ok {
+			continue
+		}
+		if iface, ok := tn.Type().Underlying().(*types.Interface); ok {
+			out[name] = iface
+		}
+	}
+	if out["IndirectPredictor"] == nil {
+		return nil
+	}
+	return out
+}
+
+// collectAssertions scans package-level `var _ I = expr` declarations and
+// records, per named type, which predictor interfaces it is asserted against.
+func collectAssertions(pass *lint.Pass, ifaces map[string]*types.Interface) map[*types.TypeName]map[string]bool {
+	asserted := map[*types.TypeName]map[string]bool{}
+	for _, file := range pass.Files {
+		for _, d := range file.Decls {
+			gd, ok := d.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok || vs.Type == nil || len(vs.Values) != len(vs.Names) {
+					continue
+				}
+				declared := pass.TypesInfo.TypeOf(vs.Type)
+				ifaceName := interfaceName(declared, ifaces)
+				if ifaceName == "" {
+					continue
+				}
+				for i, n := range vs.Names {
+					if n.Name != "_" {
+						continue
+					}
+					if tn := namedTypeOf(pass.TypesInfo.TypeOf(vs.Values[i])); tn != nil {
+						m := asserted[tn]
+						if m == nil {
+							m = map[string]bool{}
+							asserted[tn] = m
+						}
+						m[ifaceName] = true
+					}
+				}
+			}
+		}
+	}
+	return asserted
+}
+
+// checkType reports each predictor interface tn implements without a matching
+// compile-time assertion. Only IndirectPredictor implementations are checked.
+func checkType(pass *lint.Pass, tn *types.TypeName, ifaces map[string]*types.Interface, asserted map[*types.TypeName]map[string]bool) {
+	t := tn.Type()
+	if types.IsInterface(t) {
+		return
+	}
+	ptr := types.NewPointer(t)
+	implements := func(iface *types.Interface) bool {
+		return types.Implements(t, iface) || types.Implements(ptr, iface)
+	}
+	if !implements(ifaces["IndirectPredictor"]) {
+		return
+	}
+	for _, name := range ifaceNames {
+		iface := ifaces[name]
+		if iface == nil || !implements(iface) {
+			continue
+		}
+		if !asserted[tn][name] {
+			pass.Reportf(tn.Pos(), "%s implements predictor.%s but lacks a compile-time assertion; add `var _ predictor.%s = (*%s)(nil)`", tn.Name(), name, name, tn.Name())
+		}
+	}
+}
+
+// interfaceName matches a declared assertion type against the predictor
+// interfaces, returning the matched name or "".
+func interfaceName(t types.Type, ifaces map[string]*types.Interface) string {
+	if t == nil {
+		return ""
+	}
+	for name, iface := range ifaces {
+		if types.Identical(t.Underlying(), iface) {
+			return name
+		}
+	}
+	return ""
+}
+
+// namedTypeOf peels pointers and conversions down to the named type a value
+// expression asserts, e.g. (*PPM)(nil) -> PPM.
+func namedTypeOf(t types.Type) *types.TypeName {
+	for {
+		switch x := t.(type) {
+		case *types.Pointer:
+			t = x.Elem()
+		case *types.Named:
+			return x.Obj()
+		default:
+			return nil
+		}
+	}
+}

@@ -1,0 +1,12 @@
+package ifaceassert_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/ifaceassert"
+	"repro/internal/lint/linttest"
+)
+
+func TestAnalyzer(t *testing.T) {
+	linttest.Run(t, ifaceassert.Analyzer, "testdata/src/a")
+}

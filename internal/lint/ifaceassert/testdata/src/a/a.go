@@ -1,0 +1,56 @@
+// Package a exercises the ifaceassert analyzer: concrete IndirectPredictor
+// implementations must carry compile-time conformance assertions for every
+// predictor interface they satisfy.
+package a
+
+import (
+	"repro/internal/predictor"
+	"repro/internal/trace"
+)
+
+// Good implements IndirectPredictor and Resetter, with both assertions.
+type Good struct{ last uint64 }
+
+var (
+	_ predictor.IndirectPredictor = (*Good)(nil)
+	_ predictor.Resetter          = (*Good)(nil)
+)
+
+// Name identifies the predictor.
+func (g *Good) Name() string { return "good" }
+
+// Predict returns the last committed target.
+func (g *Good) Predict(pc uint64) (uint64, bool) { return g.last, g.last != 0 }
+
+// Update trains with the resolved target.
+func (g *Good) Update(pc, target uint64) { g.last = target }
+
+// Observe advances history.
+func (g *Good) Observe(r trace.Record) {}
+
+// Reset returns to power-up state.
+func (g *Good) Reset() { g.last = 0 }
+
+// Bad implements IndirectPredictor and Sized but asserts neither.
+type Bad struct{ n int } // want `Bad implements predictor\.IndirectPredictor but lacks a compile-time assertion` `Bad implements predictor\.Sized but lacks a compile-time assertion`
+
+// Name identifies the predictor.
+func (b *Bad) Name() string { return "bad" }
+
+// Predict never predicts.
+func (b *Bad) Predict(pc uint64) (uint64, bool) { return 0, false }
+
+// Update trains with the resolved target.
+func (b *Bad) Update(pc, target uint64) {}
+
+// Observe advances history.
+func (b *Bad) Observe(r trace.Record) {}
+
+// Entries reports the storage budget.
+func (b *Bad) Entries() int { return b.n }
+
+// Helper is not a predictor at all, so no assertions are required.
+type Helper struct{ hits int }
+
+// Bump counts a hit.
+func (h *Helper) Bump() { h.hits++ }

@@ -1,0 +1,154 @@
+// Package linttest runs a ppmlint analyzer over a testdata fixture package
+// and checks its diagnostics against `// want` expectations embedded in the
+// fixture source, mirroring golang.org/x/tools/go/analysis/analysistest.
+//
+// An expectation is a comment of the form
+//
+//	code() // want `regexp`
+//	code() // want `regexp1` `regexp2`
+//
+// on the line where the diagnostic is expected. Each regexp must match one
+// diagnostic reported on that line; diagnostics with no matching expectation,
+// and expectations with no matching diagnostic, fail the test. Double-quoted
+// Go strings are accepted in place of backquoted ones.
+package linttest
+
+import (
+	"fmt"
+	"go/ast"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/lint"
+)
+
+// expectation is one `// want` pattern anchored to a file line.
+type expectation struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+// Run loads the package rooted at dir (typically "testdata/src/a"), applies
+// the analyzer, and reports every mismatch between its diagnostics and the
+// fixture's `// want` expectations as test errors.
+func Run(t *testing.T, a *lint.Analyzer, dir string) {
+	t.Helper()
+	pkgs, err := lint.Load(dir, ".")
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", dir, err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatalf("no packages loaded from %s", dir)
+	}
+
+	var wants []*expectation
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			ws, err := parseWants(pkg, file)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wants = append(wants, ws...)
+		}
+	}
+
+	diags, err := lint.Run(pkgs, []*lint.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+
+	for _, d := range diags {
+		if !claim(wants, d) {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.raw)
+		}
+	}
+}
+
+// claim marks the first unmatched expectation on d's line whose pattern
+// matches d's message, reporting whether one was found.
+func claim(wants []*expectation, d lint.Diagnostic) bool {
+	for _, w := range wants {
+		if w.matched || w.file != d.Pos.Filename || w.line != d.Pos.Line {
+			continue
+		}
+		if w.re.MatchString(d.Message) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+// parseWants extracts the `// want` expectations from one fixture file.
+func parseWants(pkg *lint.Package, file *ast.File) ([]*expectation, error) {
+	var wants []*expectation
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			text, ok := strings.CutPrefix(c.Text, "// want ")
+			if !ok {
+				continue
+			}
+			pos := pkg.Fset.Position(c.Pos())
+			patterns, err := splitPatterns(text)
+			if err != nil {
+				return nil, fmt.Errorf("%s:%d: malformed want comment: %v", pos.Filename, pos.Line, err)
+			}
+			for _, p := range patterns {
+				re, err := regexp.Compile(p)
+				if err != nil {
+					return nil, fmt.Errorf("%s:%d: bad want pattern %q: %v", pos.Filename, pos.Line, p, err)
+				}
+				wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, re: re, raw: p})
+			}
+		}
+	}
+	return wants, nil
+}
+
+// splitPatterns parses a sequence of backquoted or double-quoted strings.
+func splitPatterns(s string) ([]string, error) {
+	var out []string
+	s = strings.TrimSpace(s)
+	for s != "" {
+		switch s[0] {
+		case '`':
+			end := strings.IndexByte(s[1:], '`')
+			if end < 0 {
+				return nil, fmt.Errorf("unterminated backquote in %q", s)
+			}
+			out = append(out, s[1:1+end])
+			s = strings.TrimSpace(s[end+2:])
+		case '"':
+			// Find the closing quote, honoring escapes, then Unquote.
+			i := 1
+			for i < len(s) && (s[i] != '"' || s[i-1] == '\\') {
+				i++
+			}
+			if i == len(s) {
+				return nil, fmt.Errorf("unterminated quote in %q", s)
+			}
+			p, err := strconv.Unquote(s[:i+1])
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, p)
+			s = strings.TrimSpace(s[i+1:])
+		default:
+			return nil, fmt.Errorf("expected quoted pattern at %q", s)
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no patterns")
+	}
+	return out, nil
+}

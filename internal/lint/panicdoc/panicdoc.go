@@ -1,0 +1,182 @@
+// Package panicdoc implements the ppmlint analyzer enforcing the
+// repository's panic contract convention: constructors and other exported
+// entry points validate their hardware-model configuration with panics
+// (table sizes, history depths, state-machine orders), and both halves of
+// that contract must be visible to callers:
+//
+//  1. an exported function or method that can panic — directly, or through
+//     an unexported same-package helper it calls — must say so in its doc
+//     comment (any sentence containing "panic" satisfies the check);
+//
+//  2. every panic carrying a string message must use the `pkg: <reason>`
+//     format (e.g. "cbt: entries must be a positive power of two"), so a
+//     panic escaping a 20-package simulation run identifies its source.
+package panicdoc
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"regexp"
+	"strings"
+
+	"repro/internal/lint"
+)
+
+// Analyzer is the panic-contract checker.
+var Analyzer = &lint.Analyzer{
+	Name: "panicdoc",
+	Doc:  "exported functions that can panic must document it; panic messages use the `pkg: <reason>` format",
+	Run:  run,
+}
+
+var msgFormat = regexp.MustCompile(`^[a-z][a-z0-9/]*: \S`)
+
+func run(pass *lint.Pass) error {
+	// First pass: which functions in this package panic directly, and are
+	// their string messages well-formed? Results are memoized so message
+	// format is checked (and reported) exactly once per panic site.
+	direct := map[string]bool{}        // unexported function name -> panics
+	panics := map[*ast.FuncDecl]bool{} // any func decl -> panics directly
+	var decls []*ast.FuncDecl
+	for _, file := range pass.Files {
+		for _, d := range file.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			decls = append(decls, fd)
+			panics[fd] = panicsDirectly(pass, fd)
+			if panics[fd] && fd.Recv == nil && !fd.Name.IsExported() {
+				direct[fd.Name.Name] = true
+			}
+		}
+	}
+
+	// Second pass: exported functions must document reachable panics.
+	for _, fd := range decls {
+		if !fd.Name.IsExported() {
+			continue
+		}
+		if fd.Recv != nil && !exportedRecv(fd) {
+			continue
+		}
+		reason := ""
+		if panics[fd] {
+			reason = "panics"
+		} else if callee := callsPanickingHelper(fd, direct); callee != "" {
+			reason = "can panic via " + callee
+		}
+		if reason == "" {
+			continue
+		}
+		if !docMentionsPanic(fd.Doc) {
+			pass.Reportf(fd.Name.Pos(), "exported %s %s but its doc comment does not say so; add a \"Panics if ...\" sentence", describe(fd), reason)
+		}
+	}
+	return nil
+}
+
+// panicsDirectly reports whether fd's body contains a panic call outside any
+// nested function literal, and checks message format on the way.
+func panicsDirectly(pass *lint.Pass, fd *ast.FuncDecl) bool {
+	found := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false // a closure's panics fire on its own call path
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		id, ok := call.Fun.(*ast.Ident)
+		if !ok || id.Name != "panic" {
+			return true
+		}
+		if _, isBuiltin := pass.TypesInfo.ObjectOf(id).(*types.Builtin); !isBuiltin {
+			return true // shadowed panic is not the builtin
+		}
+		found = true
+		if len(call.Args) == 1 {
+			checkMessage(pass, call.Args[0])
+		}
+		return true
+	})
+	return found
+}
+
+// checkMessage enforces the `pkg: <reason>` format on string panic payloads:
+// either a string literal, or a fmt.Sprintf/Errorf whose format literal is
+// checkable.
+func checkMessage(pass *lint.Pass, arg ast.Expr) {
+	lit := stringPayload(pass, arg)
+	if lit == "" {
+		return
+	}
+	if !msgFormat.MatchString(lit) {
+		pass.Reportf(arg.Pos(), "panic message %q does not follow the `pkg: <reason>` format", lit)
+	}
+}
+
+// stringPayload extracts a checkable message string from a panic argument.
+func stringPayload(pass *lint.Pass, arg ast.Expr) string {
+	arg = lint.Unparen(pass.TypesInfo, arg)
+	if call, ok := arg.(*ast.CallExpr); ok {
+		// fmt.Sprintf("...", ...) / fmt.Errorf("...", ...)
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok && len(call.Args) >= 1 {
+			if fn := pass.TypesInfo.ObjectOf(sel.Sel); fn != nil && fn.Pkg() != nil &&
+				(fn.Pkg().Path() == "fmt" || fn.Pkg().Path() == "errors") {
+				arg = call.Args[0]
+			}
+		}
+	}
+	tv, ok := pass.TypesInfo.Types[arg]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return ""
+	}
+	return constant.StringVal(tv.Value)
+}
+
+// callsPanickingHelper reports the name of an unexported same-package
+// function fd calls that panics directly, or "". Exported callees document
+// their own contract.
+func callsPanickingHelper(fd *ast.FuncDecl, direct map[string]bool) string {
+	callee := ""
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if callee != "" {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if id, ok := call.Fun.(*ast.Ident); ok && direct[id.Name] {
+			callee = id.Name
+			return false
+		}
+		return true
+	})
+	return callee
+}
+
+func docMentionsPanic(doc *ast.CommentGroup) bool {
+	return doc != nil && strings.Contains(strings.ToLower(doc.Text()), "panic")
+}
+
+func exportedRecv(fd *ast.FuncDecl) bool {
+	t := fd.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	// Generic receivers (T[P]) do not occur in this repository; a plain
+	// identifier is the only shape handled.
+	id, ok := t.(*ast.Ident)
+	return ok && id.IsExported()
+}
+
+func describe(fd *ast.FuncDecl) string {
+	if fd.Recv == nil {
+		return "function " + fd.Name.Name
+	}
+	return "method " + fd.Name.Name
+}

@@ -1,0 +1,12 @@
+package panicdoc_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/linttest"
+	"repro/internal/lint/panicdoc"
+)
+
+func TestAnalyzer(t *testing.T) {
+	linttest.Run(t, panicdoc.Analyzer, "testdata/src/a")
+}

@@ -1,0 +1,54 @@
+// Package a exercises the panicdoc analyzer: exported functions that can
+// panic must say so in their doc comments, and panic messages follow the
+// `pkg: <reason>` format.
+package a
+
+import "fmt"
+
+// New builds a widget sized n.
+func New(n int) int { // want `exported function New panics but its doc comment does not say so`
+	if n <= 0 {
+		panic("a: n must be positive")
+	}
+	return n
+}
+
+// NewChecked builds a widget sized n.
+//
+// Panics if n is not positive.
+func NewChecked(n int) int {
+	if n <= 0 {
+		panic("a: n must be positive")
+	}
+	return n
+}
+
+// Indirect builds a widget after validation.
+func Indirect(n int) int { // want `exported function Indirect can panic via validate`
+	validate(n)
+	return n
+}
+
+func validate(n int) {
+	if n < 0 {
+		panic(fmt.Sprintf("a: bad size %d", n))
+	}
+}
+
+// Widget is a sized thing.
+type Widget struct{ n int }
+
+// Grow enlarges the widget.
+func (w *Widget) Grow(by int) { // want `exported method Grow panics`
+	if by < 0 {
+		panic("a: negative growth")
+	}
+	w.n += by
+}
+
+// Explode documents its panic but formats the message wrong.
+//
+// Panics unconditionally.
+func Explode() {
+	panic("kaboom with no package prefix") // want "does not follow the `pkg: <reason>` format"
+}

@@ -1,0 +1,332 @@
+// Package pow2mask implements the ppmlint analyzer guarding the hardware
+// table-indexing convention used throughout the predictors: an index formed
+// as `x & (n-1)` silently aliases (or worse, truncates) unless n is a power
+// of two, so every such mask must trace back to a size the constructor
+// validated with the canonical `n&(n-1) != 0` panic guard (the cbt/condbr
+// convention), or be a power of two by construction (`1<<k`, pow2 constant).
+//
+// The analyzer examines every slice/array index expression containing a
+// bitwise-AND mask and accepts it when the mask provably derives from:
+//
+//   - a `1 << k` shift or a power-of-two constant;
+//   - `len(s)`/`cap(s)` where s was made with a size expression that is
+//     itself accepted, or that mentions a value pow2-validated by a
+//     `v&(v-1)` guard anywhere in the package;
+//   - a variable/field that is pow2-validated as above.
+//
+// Everything else is reported. The check is intentionally package-local and
+// syntactic about the guard: the point is to force the validation panic into
+// the constructor, where it documents and enforces the invariant at once.
+package pow2mask
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+
+	"repro/internal/lint"
+)
+
+// Analyzer is the power-of-two mask checker.
+var Analyzer = &lint.Analyzer{
+	Name: "pow2mask",
+	Doc:  "require &(n-1) index masks to trace to constructor-validated power-of-two sizes",
+	Run:  run,
+}
+
+func run(pass *lint.Pass) error {
+	st := &state{
+		pass:      pass,
+		validated: map[types.Object]bool{},
+		sized:     map[types.Object][]ast.Expr{},
+	}
+	st.collect()
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.BinaryExpr:
+				// Any `E & (N-1)` mask, wherever it appears (index masks are
+				// routinely computed into a local before indexing). The
+				// validation idiom `v & (v-1)` itself is exempt.
+				if x.Op == token.AND && guardObject(pass.TypesInfo, x) == nil {
+					st.checkMask(x)
+				}
+			case *ast.IndexExpr:
+				t := pass.TypesInfo.TypeOf(x.X)
+				if t == nil {
+					return true
+				}
+				switch t.Underlying().(type) {
+				case *types.Slice, *types.Array:
+					st.checkConstMask(x)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+type state struct {
+	pass *lint.Pass
+	// validated holds objects v for which a `v&(v-1)` guard expression
+	// exists somewhere in the package.
+	validated map[types.Object]bool
+	// sized maps a slice variable or field to the size expressions of the
+	// make() calls (or aliasing assignments) that created it.
+	sized map[types.Object][]ast.Expr
+}
+
+// collect gathers, in one pass over the package, the pow2-validation guards
+// and the make() size expression feeding each slice variable or field.
+func (s *state) collect() {
+	info := s.pass.TypesInfo
+	for _, file := range s.pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.BinaryExpr:
+				// The canonical guard: E & (E - 1), with both sides
+				// resolving to the same object.
+				if x.Op == token.AND {
+					if obj := guardObject(info, x); obj != nil {
+						s.validated[obj] = true
+					}
+				}
+			case *ast.AssignStmt:
+				if x.Tok != token.ASSIGN && x.Tok != token.DEFINE {
+					return true // op-assignments (+=, <<=) are not bindings
+				}
+				for i, lhs := range x.Lhs {
+					if i >= len(x.Rhs) {
+						break // x, y := f() never assigns a tracked make
+					}
+					s.recordBinding(lhs, x.Rhs[i])
+				}
+			case *ast.ValueSpec:
+				for i, name := range x.Names {
+					if i < len(x.Values) {
+						s.recordBinding(name, x.Values[i])
+					}
+				}
+			case *ast.CompositeLit:
+				t := info.TypeOf(x)
+				if t == nil {
+					return true
+				}
+				if _, isStruct := t.Underlying().(*types.Struct); !isStruct {
+					return true
+				}
+				for _, el := range x.Elts {
+					kv, ok := el.(*ast.KeyValueExpr)
+					if !ok {
+						continue
+					}
+					s.recordBinding(kv.Key, kv.Value)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// recordBinding notes `target = value` when target is a plain variable or
+// field and value is a make() call (recording its size) or another tracked
+// expression (recording the alias for one-step following).
+func (s *state) recordBinding(target ast.Expr, value ast.Expr) {
+	obj := lint.ObjectOf(s.pass.TypesInfo, target)
+	if obj == nil {
+		return
+	}
+	v := lint.Unparen(s.pass.TypesInfo, value)
+	if call, ok := v.(*ast.CallExpr); ok {
+		if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "make" && len(call.Args) >= 2 {
+			s.sized[obj] = append(s.sized[obj], call.Args[1])
+			return
+		}
+	}
+	// Anything else — an alias (`&T{f: sets}`, `x = y`) or a computed size
+	// (`nsets := entries / assoc`) — is stored as-is; the resolver follows
+	// identifiers object by object and proves computed sizes directly.
+	s.sized[obj] = append(s.sized[obj], v)
+}
+
+// guardObject recognizes `E & (E' - 1)` where E and E' resolve to the same
+// variable/field object, returning that object.
+func guardObject(info *types.Info, b *ast.BinaryExpr) types.Object {
+	try := func(e, mask ast.Expr) types.Object {
+		obj := lint.ObjectOf(info, lint.Unparen(info, e))
+		if obj == nil {
+			return nil
+		}
+		m, ok := lint.Unparen(info, mask).(*ast.BinaryExpr)
+		if !ok || m.Op != token.SUB || !isIntLiteral(info, m.Y, 1) {
+			return nil
+		}
+		if lint.ObjectOf(info, lint.Unparen(info, m.X)) == obj {
+			return obj
+		}
+		return nil
+	}
+	if obj := try(b.X, b.Y); obj != nil {
+		return obj
+	}
+	return try(b.Y, b.X)
+}
+
+// checkMask validates one `E & (N-1)`-shaped mask expression: N must be
+// provably a power of two.
+func (s *state) checkMask(b *ast.BinaryExpr) {
+	for _, side := range []ast.Expr{b.X, b.Y} {
+		m, ok := lint.Unparen(s.pass.TypesInfo, side).(*ast.BinaryExpr)
+		if !ok || m.Op != token.SUB || !isIntLiteral(s.pass.TypesInfo, m.Y, 1) {
+			continue
+		}
+		// The depth bound caps alias-chain following (field -> local ->
+		// computed size -> validated parameter is a realistic six-hop chain).
+		if !s.pow2OK(lint.Unparen(s.pass.TypesInfo, m.X), 8) {
+			s.pass.Reportf(b.Pos(), "index mask %q does not trace to a constructor-validated power-of-two size; add the `n&(n-1) != 0` panic guard where the table is sized", render(s.pass, side))
+		}
+	}
+}
+
+// checkConstMask flags bare constant masks inside an index expression that
+// are not of the 2^k-1 form: indexing with them silently skips slots. The
+// check stays index-local because single-bit masks are legitimate everywhere
+// else (flag tests, bit extraction).
+func (s *state) checkConstMask(idx *ast.IndexExpr) {
+	ast.Inspect(idx.Index, func(n ast.Node) bool {
+		b, ok := n.(*ast.BinaryExpr)
+		if !ok || b.Op != token.AND {
+			return true
+		}
+		for _, side := range []ast.Expr{b.X, b.Y} {
+			// Skip the explicit N-1 shape; checkMask owns it.
+			if m, ok := lint.Unparen(s.pass.TypesInfo, side).(*ast.BinaryExpr); ok && m.Op == token.SUB && isIntLiteral(s.pass.TypesInfo, m.Y, 1) {
+				continue
+			}
+			if v, isConst := intConst(s.pass.TypesInfo, side); isConst {
+				if v >= 0 && (v+1)&v != 0 {
+					s.pass.Reportf(b.Pos(), "index mask constant %d is not 2^k-1; indexing with it skips slots", v)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// pow2OK reports whether expression e provably evaluates to a power of two.
+func (s *state) pow2OK(e ast.Expr, depth int) bool {
+	if depth == 0 {
+		return false
+	}
+	info := s.pass.TypesInfo
+	e = lint.Unparen(info, e)
+
+	if v, isConst := intConst(info, e); isConst {
+		return v > 0 && v&(v-1) == 0
+	}
+	switch x := e.(type) {
+	case *ast.BinaryExpr:
+		switch x.Op {
+		case token.SHL:
+			// 1<<k (or any pow2 base shifted) is a power of two for any k.
+			return s.pow2OK(x.X, depth-1)
+		case token.MUL, token.QUO, token.SHR:
+			// Products, quotients and right-shifts of powers of two within
+			// this package's validated sizes stay powers of two (divisors
+			// of 2^k are 2^j). Accept if either side is provably pow2.
+			return s.pow2OK(x.X, depth-1) || s.pow2OK(x.Y, depth-1)
+		}
+		return false
+	case *ast.CallExpr:
+		// len(s)/cap(s): the slice's make() size must be provable.
+		if id, ok := x.Fun.(*ast.Ident); ok && (id.Name == "len" || id.Name == "cap") && len(x.Args) == 1 {
+			return s.sliceSizeOK(x.Args[0], depth-1)
+		}
+		return false
+	case *ast.Ident, *ast.SelectorExpr:
+		obj := lint.ObjectOf(info, x)
+		if obj == nil {
+			return false
+		}
+		if s.validated[obj] {
+			return true
+		}
+		// Follow the object's recorded bindings (e.g. a local computed
+		// from a validated config field).
+		return s.boundOK(obj, depth-1)
+	}
+	return false
+}
+
+// sliceSizeOK resolves the slice expression to its variable/field and checks
+// the sizes it was made with.
+func (s *state) sliceSizeOK(slice ast.Expr, depth int) bool {
+	obj := lint.ObjectOf(s.pass.TypesInfo, lint.Unparen(s.pass.TypesInfo, slice))
+	if obj == nil {
+		return false
+	}
+	// A fixed-size array's length is a constant; check it directly.
+	if t, ok := obj.Type().Underlying().(*types.Array); ok {
+		n := t.Len()
+		return n > 0 && n&(n-1) == 0
+	}
+	return s.boundOK(obj, depth)
+}
+
+// boundOK checks every recorded binding of obj: all known creation sites
+// must be provably power-of-two sized.
+func (s *state) boundOK(obj types.Object, depth int) bool {
+	if depth == 0 {
+		return false
+	}
+	bindings := s.sized[obj]
+	if len(bindings) == 0 {
+		return false
+	}
+	for _, b := range bindings {
+		switch x := lint.Unparen(s.pass.TypesInfo, b).(type) {
+		case *ast.Ident, *ast.SelectorExpr:
+			// Alias binding: the aliased object decides — via its own
+			// bindings or via a validation guard on it.
+			next := lint.ObjectOf(s.pass.TypesInfo, x)
+			if next == nil || next == obj {
+				return false
+			}
+			if !s.validated[next] && !s.boundOK(next, depth-1) {
+				return false
+			}
+		default:
+			// A make() size or computed expression; prove it directly.
+			if !s.pow2OK(b, depth-1) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func isIntLiteral(info *types.Info, e ast.Expr, want int64) bool {
+	v, ok := intConst(info, e)
+	return ok && v == want
+}
+
+func intConst(info *types.Info, e ast.Expr) (int64, bool) {
+	tv, ok := info.Types[e]
+	if !ok || tv.Value == nil {
+		return 0, false
+	}
+	if tv.Value.Kind() != constant.Int {
+		return 0, false
+	}
+	v, exact := constant.Int64Val(tv.Value)
+	if !exact {
+		return 0, false
+	}
+	return v, true
+}
+
+func render(pass *lint.Pass, e ast.Expr) string {
+	return types.ExprString(e)
+}

@@ -1,0 +1,12 @@
+package pow2mask_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/linttest"
+	"repro/internal/lint/pow2mask"
+)
+
+func TestAnalyzer(t *testing.T) {
+	linttest.Run(t, pow2mask.Analyzer, "testdata/src/a")
+}

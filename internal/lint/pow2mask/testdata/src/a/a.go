@@ -1,0 +1,64 @@
+// Package a exercises the pow2mask analyzer: `x & (n-1)` index masks must
+// trace to a constructor-validated power-of-two size.
+package a
+
+// Table is a direct-mapped table whose size carries the canonical guard.
+type Table struct {
+	slots []uint64
+}
+
+// NewTable builds a table. Panics if entries is not a positive power of two.
+func NewTable(entries int) *Table {
+	if entries <= 0 || entries&(entries-1) != 0 {
+		panic("a: entries must be a positive power of two")
+	}
+	return &Table{slots: make([]uint64, entries)}
+}
+
+// Lookup masks with the validated table length.
+func (t *Table) Lookup(pc uint64) uint64 {
+	return t.slots[pc&uint64(len(t.slots)-1)]
+}
+
+// Bad is sized by a parameter nothing validates.
+type Bad struct {
+	slots []uint64
+}
+
+// NewBad builds a table without validating n.
+func NewBad(n int) *Bad {
+	return &Bad{slots: make([]uint64, n)}
+}
+
+// Lookup masks with an unproven length.
+func (b *Bad) Lookup(pc uint64) uint64 {
+	return b.slots[pc&uint64(len(b.slots)-1)] // want `does not trace to a constructor-validated power-of-two size`
+}
+
+// Fixed masks with a compile-time power-of-two array length.
+func Fixed(pc uint64) int {
+	var table [16]int
+	return table[pc&uint64(len(table)-1)]
+}
+
+// Shifted masks with a size that is a power of two by construction.
+func Shifted(pc uint64, order uint) uint64 {
+	slots := make([]uint64, 1<<order)
+	return slots[pc&uint64(len(slots)-1)]
+}
+
+// Halved masks with a derived size: divisors of validated powers of two stay
+// powers of two.
+func Halved(pc uint64, entries int) uint64 {
+	if entries <= 0 || entries&(entries-1) != 0 {
+		panic("a: entries must be a positive power of two")
+	}
+	half := make([]uint64, entries/2)
+	return half[pc&uint64(len(half)-1)]
+}
+
+// BadConst masks with a constant that skips slots.
+func BadConst(pc uint64) int {
+	var table [16]int
+	return table[pc&6] // want `index mask constant 6 is not 2\^k-1`
+}

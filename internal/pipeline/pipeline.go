@@ -43,7 +43,8 @@ type Result struct {
 }
 
 // Estimate computes cycles and IPC for a run with the given dynamic
-// instruction count and total branch mispredictions.
+// instruction count and total branch mispredictions. Panics if the Config
+// fails Validate.
 func (c Config) Estimate(instructions, mispredictions uint64) Result {
 	if err := c.Validate(); err != nil {
 		panic(err)

@@ -69,6 +69,82 @@ func TestBIUBoundedEviction(t *testing.T) {
 	}
 }
 
+func TestBIUReEnsureEvicted(t *testing.T) {
+	b := NewBIU(counter.Normal, 2)
+	b.Ensure(0x10).MT = true
+	b.Ensure(0x20)
+	b.Ensure(0x30) // evicts 0x10
+	if b.Lookup(0x10) != nil {
+		t.Fatal("0x10 should have been evicted")
+	}
+	// Re-Ensure of an evicted PC allocates a fresh entry: the sticky MT bit
+	// and any counter training died with the evicted entry, as they would in
+	// a finite hardware table.
+	e := b.Ensure(0x10)
+	if e.MT {
+		t.Error("re-Ensured entry kept state from before its eviction")
+	}
+	if e.Sel.Selected() != counter.PIB {
+		t.Error("re-Ensured entry must restart at Strongly PIB")
+	}
+	if b.Len() != 2 {
+		t.Errorf("Len = %d, want 2", b.Len())
+	}
+	// The re-inserted PC joins the back of the FIFO: 0x20 is now the oldest
+	// and is the next victim.
+	if b.Lookup(0x20) != nil {
+		t.Error("re-Ensure did not evict the FIFO-oldest entry 0x20")
+	}
+	if b.Lookup(0x30) == nil {
+		t.Error("0x30 evicted out of FIFO order")
+	}
+}
+
+func TestBIUEvictionCounterAccuracy(t *testing.T) {
+	b := NewBIU(counter.Normal, 3)
+	for pc := uint64(1); pc <= 3; pc++ {
+		b.Ensure(pc << 4)
+	}
+	if got := b.Evictions(); got != 0 {
+		t.Fatalf("Evictions = %d before the table filled, want 0", got)
+	}
+	// Re-Ensure of live entries must not count as eviction traffic.
+	for pc := uint64(1); pc <= 3; pc++ {
+		b.Ensure(pc << 4)
+	}
+	if got := b.Evictions(); got != 0 {
+		t.Errorf("Evictions = %d after re-Ensure of live entries, want 0", got)
+	}
+	// Each new distinct PC beyond the limit displaces exactly one entry.
+	for pc := uint64(4); pc <= 8; pc++ {
+		b.Ensure(pc << 4)
+	}
+	if got := b.Evictions(); got != 5 {
+		t.Errorf("Evictions = %d, want 5", got)
+	}
+	if b.Len() != 3 {
+		t.Errorf("Len = %d, want 3", b.Len())
+	}
+}
+
+func TestBIUUnboundedKeepsNoFIFOState(t *testing.T) {
+	b := NewBIU(counter.Normal, 0)
+	for pc := uint64(0); pc < 100; pc++ {
+		b.Ensure(pc * 4)
+	}
+	if b.Len() != 100 {
+		t.Errorf("Len = %d, want 100", b.Len())
+	}
+	if b.Evictions() != 0 {
+		t.Errorf("unbounded BIU reported %d evictions", b.Evictions())
+	}
+	// The paper's infinite BIU never evicts, so the bounded-mode FIFO order
+	// slice must stay empty rather than growing with every branch site.
+	if len(b.order) != 0 {
+		t.Errorf("unbounded BIU accumulated %d FIFO order slots", len(b.order))
+	}
+}
+
 func TestBIUReset(t *testing.T) {
 	b := NewBIU(counter.PIBBiased, 2)
 	b.Ensure(4)

@@ -16,7 +16,7 @@ type Stack struct {
 	preds uint64
 }
 
-// New creates a RAS with the given depth (must be >= 1).
+// New creates a RAS with the given depth. Panics if depth < 1.
 func New(depth int) *Stack {
 	if depth < 1 {
 		panic("ras: depth must be >= 1")

@@ -176,6 +176,7 @@ var (
 	_ predictor.IndirectPredictor = (*DualPath)(nil)
 	_ predictor.Sized             = (*DualPath)(nil)
 	_ predictor.Resetter          = (*DualPath)(nil)
+	_ predictor.Costed            = (*DualPath)(nil)
 )
 
 // Bits implements predictor.Costed.

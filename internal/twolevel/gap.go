@@ -59,7 +59,10 @@ func (c GApConfig) validate() error {
 	if c.Entries <= 0 || c.Entries&(c.Entries-1) != 0 {
 		return fmt.Errorf("twolevel: entries must be a positive power of two, got %d", c.Entries)
 	}
-	if c.PHTs <= 0 || c.Entries%c.PHTs != 0 {
+	if c.PHTs <= 0 || c.PHTs&(c.PHTs-1) != 0 {
+		return fmt.Errorf("twolevel: PHT count must be a positive power of two, got %d", c.PHTs)
+	}
+	if c.Entries%c.PHTs != 0 {
 		return fmt.Errorf("twolevel: %d PHTs do not divide %d entries", c.PHTs, c.Entries)
 	}
 	if c.PathLength <= 0 {
@@ -200,6 +203,7 @@ var (
 	_ predictor.IndirectPredictor = (*GAp)(nil)
 	_ predictor.Sized             = (*GAp)(nil)
 	_ predictor.Resetter          = (*GAp)(nil)
+	_ predictor.Costed            = (*GAp)(nil)
 )
 
 // Bits implements predictor.Costed.

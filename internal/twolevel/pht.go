@@ -37,9 +37,11 @@ type PHT struct {
 	clock  uint64
 }
 
-// NewPHT builds a table with the given total number of entries (power of
-// two) and associativity. tagged selects tag-matching lookup; tagless
-// tables must be direct mapped, as in the paper's tagless designs.
+// NewPHT builds a table with the given total number of entries and
+// associativity. tagged selects tag-matching lookup; tagless tables must be
+// direct mapped, as in the paper's tagless designs. Panics if entries is not
+// a positive power of two, assoc does not divide entries, or a tagless table
+// is not direct mapped.
 func NewPHT(entries, assoc int, tagged bool) *PHT {
 	if entries <= 0 || entries&(entries-1) != 0 {
 		panic(fmt.Sprintf("twolevel: entries must be a positive power of two, got %d", entries))

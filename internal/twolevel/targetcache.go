@@ -129,6 +129,7 @@ var (
 	_ predictor.IndirectPredictor = (*TargetCache)(nil)
 	_ predictor.Sized             = (*TargetCache)(nil)
 	_ predictor.Resetter          = (*TargetCache)(nil)
+	_ predictor.Costed            = (*TargetCache)(nil)
 )
 
 // Bits implements predictor.Costed.

@@ -202,7 +202,8 @@ func buildSites(specs []SiteSpec, depth int, seed uint64) []*Site {
 
 // Generate synthesizes the run, invoking emit for every branch record in
 // program order, and returns the dynamic summary. Generation is fully
-// deterministic for a given Config.
+// deterministic for a given Config. Panics if the Config is invalid: no
+// events, no sites, or a site with a bad target count or weight.
 func (c Config) Generate(emit func(trace.Record)) Summary {
 	if c.Events <= 0 {
 		panic("workload: Events must be positive")

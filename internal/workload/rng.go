@@ -37,7 +37,7 @@ func (r *RNG) Uint64() uint64 {
 	return z
 }
 
-// Intn returns a pseudo-random int in [0, n). n must be positive.
+// Intn returns a pseudo-random int in [0, n). Panics if n is not positive.
 func (r *RNG) Intn(n int) int {
 	if n <= 0 {
 		panic("workload: Intn with non-positive n")
