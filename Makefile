@@ -4,7 +4,7 @@
 GO      ?= go
 FUZZTIME ?= 30s
 
-.PHONY: all build test race lint fmt vet ppmlint fuzz-smoke ci
+.PHONY: all build test race lint fmt vet ppmlint escapes-check escapes-update bench fuzz-smoke ci
 
 all: build
 
@@ -25,9 +25,24 @@ fmt:
 vet:
 	$(GO) vet ./...
 
-# The repository's own analyzers: determinism, pow2mask, panicdoc, ifaceassert.
+# The repository's own analyzers: determinism, hotpath, ifaceassert,
+# ifacecall, panicdoc, pow2mask.
 ppmlint:
 	$(GO) run ./cmd/ppmlint ./...
+
+# Compiler escape-budget gate over the hot-path packages: fails when any of
+# them gains a heap escape beyond internal/lint/escapes.baseline.
+escapes-check:
+	$(GO) run ./cmd/escapegate
+
+# Regenerate the escape baseline after an intentional change; commit the diff.
+escapes-update:
+	$(GO) run ./cmd/escapegate -update
+
+# Run the predictor benchmarks with -benchmem and refresh the checked-in
+# machine-readable snapshot.
+bench:
+	$(GO) run ./cmd/benchjson -out BENCH_predictors.json
 
 lint: fmt vet ppmlint
 
@@ -36,4 +51,4 @@ lint: fmt vet ppmlint
 fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzReader -fuzztime=$(FUZZTIME) ./internal/trace
 
-ci: build lint race fuzz-smoke
+ci: build lint escapes-check race fuzz-smoke

@@ -1,0 +1,131 @@
+// Command benchjson runs the predictor throughput benchmarks with -benchmem
+// and renders the results as machine-readable JSON, one row per predictor:
+// name, ns/op, B/op, allocs/op and the iteration count. `make bench`
+// regenerates the checked-in snapshot BENCH_predictors.json, seeding the
+// perf trajectory every future optimisation PR is measured against; the
+// allocs_per_op column should stay 0 — the same invariant the hotpath
+// analyzer and the zero-alloc tests enforce.
+//
+// The benchmark time is fixed in operation-count form (-benchtime=200000x)
+// so the snapshot's shape — rows, iteration counts — is identical across
+// machines; only the ns/op column reflects the host.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"strconv"
+	"strings"
+)
+
+// result is one benchmark row of the JSON snapshot.
+type result struct {
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+func main() {
+	out := flag.String("out", "BENCH_predictors.json", "output file ('-' for stdout)")
+	benchRe := flag.String("bench", "^BenchmarkPredictorThroughput$", "benchmark regexp passed to go test")
+	benchtime := flag.String("benchtime", "200000x", "benchtime passed to go test (operation-count form keeps the snapshot shape stable)")
+	flag.Parse()
+
+	cmd := exec.Command("go", "test", "-run=^$",
+		"-bench="+*benchRe, "-benchmem", "-benchtime="+*benchtime, ".")
+	var stdout bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = os.Stderr
+	if err := cmd.Run(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson: go test:", err)
+		os.Exit(2)
+	}
+
+	results, err := parse(stdout.String())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(2)
+	}
+	if len(results) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark results matched", *benchRe)
+		os.Exit(2)
+	}
+
+	data, err := json.MarshalIndent(map[string][]result{"benchmarks": results}, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(2)
+	}
+	data = append(data, '\n')
+
+	if *out == "-" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(2)
+	}
+	fmt.Printf("benchjson: wrote %d benchmark rows to %s\n", len(results), *out)
+}
+
+// parse extracts rows from `go test -bench` output. A -benchmem line looks
+// like:
+//
+//	BenchmarkPredictorThroughput/BTB-8  200000  52.1 ns/op  0 B/op  0 allocs/op
+//
+// Rows keep the tool's output order, which follows the declared predictor
+// display order and is therefore deterministic.
+func parse(output string) ([]result, error) {
+	var results []result
+	for _, line := range strings.Split(output, "\n") {
+		fields := strings.Fields(line)
+		if len(fields) < 3 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		r := result{Name: benchName(fields[0])}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("malformed iteration count in %q", line)
+		}
+		r.Iterations = iters
+		for i := 2; i+1 < len(fields); i += 2 {
+			v := fields[i]
+			switch fields[i+1] {
+			case "ns/op":
+				r.NsPerOp, err = strconv.ParseFloat(v, 64)
+			case "B/op":
+				r.BytesPerOp, err = strconv.ParseInt(v, 10, 64)
+			case "allocs/op":
+				r.AllocsPerOp, err = strconv.ParseInt(v, 10, 64)
+			}
+			if err != nil {
+				return nil, fmt.Errorf("malformed value %q in %q", v, line)
+			}
+		}
+		results = append(results, r)
+	}
+	return results, nil
+}
+
+// benchName strips the benchmark function prefix and the trailing
+// -GOMAXPROCS suffix, leaving the predictor label (e.g. "BTB"). The suffix
+// is only present when GOMAXPROCS > 1 and is always numeric — labels like
+// "TC-PIB" must survive.
+func benchName(full string) string {
+	if i := strings.LastIndexByte(full, '-'); i > 0 {
+		if _, err := strconv.Atoi(full[i+1:]); err == nil {
+			full = full[:i]
+		}
+	}
+	if _, sub, ok := strings.Cut(full, "/"); ok {
+		return sub
+	}
+	return strings.TrimPrefix(full, "Benchmark")
+}

@@ -1,0 +1,211 @@
+// Command escapegate is the compiler escape-budget gate: it runs the Go
+// compiler's escape analysis (`go build -gcflags=-m=1`) over the hot-path
+// packages, normalizes the "escapes to heap" / "moved to heap" diagnostics
+// into a stable form (line and column numbers stripped, occurrences
+// counted), and compares the result against the checked-in baseline
+// internal/lint/escapes.baseline.
+//
+// The gate fails when any package gains a heap escape the baseline does not
+// budget for, so an accidental allocation on the per-lookup path fails CI
+// even when it slips past the AST-level hotpath analyzer (e.g. an escaping
+// value the compiler can prove but syntax cannot). Intentional changes are
+// recorded with `make escapes-update` (escapegate -update), and the shrunk
+// or grown baseline is reviewed like any other diff.
+//
+// Usage:
+//
+//	escapegate [-baseline file] [-update] [packages...]
+//
+// With no packages, the default hot-path package set is gated.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// defaultBaseline is the checked-in escape budget.
+const defaultBaseline = "internal/lint/escapes.baseline"
+
+// hotPackages are the packages containing hot-path code (predictors, their
+// tables, and the per-record engine); construction-only and reporting
+// packages are not gated.
+var hotPackages = []string{
+	"./internal/btb",
+	"./internal/cascade",
+	"./internal/cbt",
+	"./internal/core",
+	"./internal/counter",
+	"./internal/hashing",
+	"./internal/history",
+	"./internal/predictor",
+	"./internal/ras",
+	"./internal/sim",
+	"./internal/stats",
+	"./internal/twolevel",
+}
+
+// diagLine matches one compiler diagnostic: file.go:line:col: message.
+var diagLine = regexp.MustCompile(`^(.+\.go):\d+:(?:\d+:)? (.+)$`)
+
+func main() {
+	baseline := flag.String("baseline", defaultBaseline, "baseline file to compare against or update")
+	update := flag.Bool("update", false, "rewrite the baseline from the current tree instead of gating")
+	flag.Parse()
+
+	pkgs := flag.Args()
+	if len(pkgs) == 0 {
+		pkgs = hotPackages
+	}
+
+	current, err := collect(pkgs)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "escapegate:", err)
+		os.Exit(2)
+	}
+
+	if *update {
+		if err := writeBaseline(*baseline, current); err != nil {
+			fmt.Fprintln(os.Stderr, "escapegate:", err)
+			os.Exit(2)
+		}
+		fmt.Printf("escapegate: wrote %d budgeted escapes to %s\n", total(current), *baseline)
+		return
+	}
+
+	budget, err := readBaseline(*baseline)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "escapegate: %v (run `make escapes-update` to create the baseline)\n", err)
+		os.Exit(2)
+	}
+	if failed := gate(current, budget); failed {
+		os.Exit(1)
+	}
+	fmt.Printf("escapegate: %d heap escapes within budget across %d packages\n", total(current), len(pkgs))
+}
+
+// collect compiles pkgs with -m=1 and returns the normalized escape
+// diagnostics as key -> occurrence count. The build cache replays compiler
+// diagnostics, so a warm cache still yields the full set.
+func collect(pkgs []string) (map[string]int, error) {
+	args := append([]string{"build", "-gcflags=-m=1"}, pkgs...)
+	cmd := exec.Command("go", args...)
+	var stderr bytes.Buffer
+	cmd.Stdout = os.Stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		os.Stderr.Write(stderr.Bytes())
+		return nil, fmt.Errorf("go build: %v", err)
+	}
+
+	counts := map[string]int{}
+	sc := bufio.NewScanner(&stderr)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		m := diagLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		file, msg := m[1], m[2]
+		if !strings.HasSuffix(msg, "escapes to heap") && !strings.Contains(msg, "moved to heap") {
+			continue
+		}
+		counts[file+"\t"+msg]++
+	}
+	return counts, sc.Err()
+}
+
+// gate reports violations of the budget, returning true when any key's
+// count grew or appeared. Shrinkage is advisory: the baseline should be
+// tightened with -update but stale slack does not fail the build.
+func gate(current, budget map[string]int) (failed bool) {
+	keys := make([]string, 0, len(current))
+	for k := range current {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		if current[k] > budget[k] {
+			failed = true
+			fmt.Fprintf(os.Stderr, "escapegate: new heap escape (%d > budget %d): %s\n",
+				current[k], budget[k], strings.ReplaceAll(k, "\t", ": "))
+		}
+	}
+
+	var slack []string
+	for k, n := range budget {
+		if current[k] < n {
+			slack = append(slack, k)
+		}
+	}
+	sort.Strings(slack)
+	for _, k := range slack {
+		fmt.Printf("escapegate: note: budget has slack (%d budgeted, %d present): %s\n",
+			budget[k], current[k], strings.ReplaceAll(k, "\t", ": "))
+	}
+	if len(slack) > 0 {
+		fmt.Println("escapegate: note: run `make escapes-update` to tighten the baseline")
+	}
+	if failed {
+		fmt.Fprintln(os.Stderr, "escapegate: hot-path packages gained heap escapes; fix them or, if intentional, run `make escapes-update` and commit the diff")
+	}
+	return failed
+}
+
+// writeBaseline renders counts in the stable on-disk form:
+// "<count>\t<file>\t<message>" lines, sorted.
+func writeBaseline(path string, counts map[string]int) error {
+	keys := make([]string, 0, len(counts))
+	for k := range counts {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+
+	var b strings.Builder
+	b.WriteString("# Heap-escape budget for hot-path packages, one diagnostic per line:\n")
+	b.WriteString("# <count>\\t<file>\\t<compiler message> (line/column stripped).\n")
+	b.WriteString("# Generated by `make escapes-update`; checked by `make escapes-check`.\n")
+	for _, k := range keys {
+		fmt.Fprintf(&b, "%d\t%s\n", counts[k], k)
+	}
+	return os.WriteFile(path, []byte(b.String()), 0o644)
+}
+
+// readBaseline parses the on-disk form back into key -> count.
+func readBaseline(path string) (map[string]int, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	counts := map[string]int{}
+	for i, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		n, key, ok := strings.Cut(line, "\t")
+		c, err := strconv.Atoi(n)
+		if !ok || err != nil {
+			return nil, fmt.Errorf("%s:%d: malformed baseline line %q", path, i+1, line)
+		}
+		counts[key] += c
+	}
+	return counts, nil
+}
+
+// total sums all budgeted occurrences.
+func total(counts map[string]int) int {
+	n := 0
+	for _, c := range counts {
+		n += c
+	}
+	return n
+}

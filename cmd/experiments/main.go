@@ -1,16 +1,18 @@
 // Command experiments regenerates every table and figure of the paper's
-// evaluation from the synthetic benchmark suite:
+// evaluation from the synthetic benchmark suite. Each analysis is a named
+// entry in the experiment registry (registry.go); run one or more by flag or
+// by positional name:
 //
-//	experiments -table1        Table 1 (dynamic benchmark characteristics)
-//	experiments -fig1          Figure 1 worked example (3rd-order Markov)
-//	experiments -fig6          Figure 6 (7 predictors x all runs, 2K entries)
-//	experiments -fig7          Figure 7 (3 PPM variants)
-//	experiments -components    Section 5 Markov component access/miss split
-//	experiments -oracle        Section 5 oracle analysis (photon, path len 8)
-//	experiments -all           everything above
+//	experiments -list          show every registered experiment and exit
+//	experiments -fig6          regenerate Figure 6
+//	experiments fig6 oracle    same experiments, selected positionally
+//	experiments -all           every paper experiment (Tables 1, Figs 1/6/7,
+//	                           component and oracle analyses)
+//	experiments -ext           every extension experiment
 //
 // -events scales the per-run dispatch count; -run restricts to runs whose
-// name contains the given substring.
+// name contains the given substring. Output always follows the registry's
+// canonical order regardless of how experiments were selected.
 package main
 
 import (
@@ -33,102 +35,53 @@ import (
 
 func main() {
 	var (
-		table1     = flag.Bool("table1", false, "regenerate Table 1")
-		fig1       = flag.Bool("fig1", false, "regenerate the Figure 1 worked example")
-		fig6       = flag.Bool("fig6", false, "regenerate Figure 6")
-		fig7       = flag.Bool("fig7", false, "regenerate Figure 7")
-		components = flag.Bool("components", false, "Markov component access/miss distribution")
-		oracleF    = flag.Bool("oracle", false, "oracle PIB-history analysis")
-		sweep      = flag.Bool("sweep", false, "extension: PPM order/table-size sweep")
-		pathlen    = flag.Bool("pathlen", false, "extension: TC/GAp path-length sensitivity")
-		biu        = flag.Bool("biu", false, "extension: finite-BIU sensitivity")
-		variants   = flag.Bool("variants", false, "extension: PPM design variants (future work)")
-		ipc        = flag.Bool("ipc", false, "motivation: IPC impact on a wide-issue machine")
-		tagged     = flag.Bool("tagged", false, "extension: tagless vs tagged predictor versions")
-		cbtF       = flag.Bool("cbt", false, "related work: Case Block Table vs value availability")
-		filterPol  = flag.Bool("filterpolicy", false, "extension: strict vs leaky Cascade filter")
-		profile    = flag.Bool("profile", false, "classify each run's branch population (mono/low-entropy/polymorphic)")
-		cond       = flag.Bool("cond", false, "Section 3 substrate: conditional direction predictors")
-		budget     = flag.Bool("budget", false, "hardware budget accounting in entries and bits")
-		multi      = flag.Bool("multi", false, "Section 4 alternative: multi-target majority-vote Markov states")
-		all        = flag.Bool("all", false, "run every experiment")
-		ext        = flag.Bool("ext", false, "run every extension experiment")
-		events     = flag.Int("events", bench.DefaultEvents, "MT dispatch events per run")
-		runFilter  = flag.String("run", "", "restrict to runs whose name contains this substring")
+		list      = flag.Bool("list", false, "list every registered experiment and exit")
+		all       = flag.Bool("all", false, "run every paper experiment")
+		ext       = flag.Bool("ext", false, "run every extension experiment")
+		events    = flag.Int("events", bench.DefaultEvents, "MT dispatch events per run")
+		runFilter = flag.String("run", "", "restrict to runs whose name contains this substring")
 	)
+	selected := make(map[string]*bool, len(experiments))
+	for _, e := range experiments {
+		selected[e.name] = flag.Bool(e.name, false, e.group+": "+e.doc)
+	}
 	flag.Parse()
 
-	if *all {
-		*table1, *fig1, *fig6, *fig7, *components, *oracleF = true, true, true, true, true, true
+	if *list {
+		for _, e := range experiments {
+			fmt.Printf("  %-14s %-10s %s\n", e.name, e.group, e.doc)
+		}
+		return
 	}
-	if *ext {
-		*sweep, *pathlen, *biu, *variants = true, true, true, true
-		*ipc, *tagged, *cbtF, *filterPol = true, true, true, true
-		*profile, *cond, *budget, *multi = true, true, true, true
+
+	for _, name := range flag.Args() {
+		sel, ok := selected[name]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "experiments: unknown experiment %q (see -list)\n", name)
+			os.Exit(2)
+		}
+		*sel = true
 	}
-	if !(*table1 || *fig1 || *fig6 || *fig7 || *components || *oracleF ||
-		*sweep || *pathlen || *biu || *variants ||
-		*ipc || *tagged || *cbtF || *filterPol || *profile || *cond ||
-		*budget || *multi) {
+	any := false
+	for _, e := range experiments {
+		if *all && e.group == "paper" {
+			*selected[e.name] = true
+		}
+		if *ext && e.group == "extension" {
+			*selected[e.name] = true
+		}
+		any = any || *selected[e.name]
+	}
+	if !any {
 		flag.Usage()
 		os.Exit(2)
 	}
 
 	suite := filterRuns(bench.Sized(*events), *runFilter)
-
-	if *table1 {
-		printTable1(suite)
-	}
-	if *fig1 {
-		printFigure1()
-	}
-	if *fig6 {
-		printMatrix("Figure 6: misprediction ratios (%), 2K-entry predictors", suite, bench.Figure6Predictors)
-	}
-	if *fig7 {
-		printMatrix("Figure 7: misprediction ratios (%), PPM variants", suite, bench.Figure7Predictors)
-	}
-	if *components {
-		printComponents(suite)
-	}
-	if *oracleF {
-		printOracle(suite)
-	}
-	if *sweep {
-		printOrderSweep(suite)
-	}
-	if *pathlen {
-		printPathLengthSweep(suite)
-	}
-	if *biu {
-		printBIUSweep(suite)
-	}
-	if *variants {
-		printVariants(suite)
-	}
-	if *ipc {
-		printIPC(suite)
-	}
-	if *tagged {
-		printTagged(suite)
-	}
-	if *cbtF {
-		printCBT(suite)
-	}
-	if *filterPol {
-		printFilterPolicy(suite)
-	}
-	if *profile {
-		printProfile(suite)
-	}
-	if *cond {
-		printCond(suite)
-	}
-	if *budget {
-		printBudget()
-	}
-	if *multi {
-		printMulti(suite)
+	for _, e := range experiments {
+		if *selected[e.name] {
+			e.run(suite)
+		}
 	}
 }
 

@@ -10,6 +10,11 @@
 //	             the `pkg: <reason>` format
 //	ifaceassert  IndirectPredictor implementations carry compile-time
 //	             var _ I = (*T)(nil) assertions
+//	hotpath      no allocation sources in functions reachable from predictor
+//	             Predict/Update/Lookup/Observe roots or //ppm:hotpath
+//	             annotations (//lint:coldpath escapes cold branches)
+//	ifacecall    no loop-carried interface dispatch on hot paths when the
+//	             concrete type is provably unique (//lint:dynamic escapes)
 //
 // ppmlint prints each finding as file:line:col: message [analyzer] and exits
 // non-zero when there are findings, so `make lint` and CI fail on them.
@@ -23,14 +28,18 @@ import (
 
 	"repro/internal/lint"
 	"repro/internal/lint/determinism"
+	"repro/internal/lint/hotpath"
 	"repro/internal/lint/ifaceassert"
+	"repro/internal/lint/ifacecall"
 	"repro/internal/lint/panicdoc"
 	"repro/internal/lint/pow2mask"
 )
 
 var analyzers = []*lint.Analyzer{
 	determinism.Analyzer,
+	hotpath.Analyzer,
 	ifaceassert.Analyzer,
+	ifacecall.Analyzer,
 	panicdoc.Analyzer,
 	pow2mask.Analyzer,
 }

@@ -1,0 +1,117 @@
+package bench
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/oracle"
+	"repro/internal/predictor"
+	"repro/internal/race"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// allocTrace generates one representative workload small enough to replay
+// in an alloc-counting loop but broad enough to touch every predictor
+// structure (ST and MT sites, calls and jumps, conditional fabric).
+func allocTrace(t *testing.T) []trace.Record {
+	t.Helper()
+	cfg, ok := ByName("gcc.cp")
+	if !ok {
+		t.Fatal("gcc.cp missing from suite")
+	}
+	cfg.Events = 3000
+	recs := make([]trace.Record, 0, cfg.Events*4)
+	cfg.Generate(func(r trace.Record) { recs = append(recs, r) })
+	return recs
+}
+
+// replay drives one predictor over the records with the engine's per-record
+// protocol (predict and train on MT indirect branches, observe everything).
+func replay(p predictor.IndirectPredictor, recs []trace.Record) {
+	for _, r := range recs {
+		if r.MTIndirect() {
+			p.Predict(r.PC)
+			p.Update(r.PC, r.Target)
+		}
+		p.Observe(r)
+	}
+}
+
+// TestPredictorsZeroAllocSteadyState locks in the hot-path purity the
+// hotpath analyzer and escape gate enforce statically: after a warm-up pass
+// has faulted in every first-touch structure (BIU entries, table fills),
+// replaying the identical record stream through Predict→Update→Observe
+// must not allocate at all.
+func TestPredictorsZeroAllocSteadyState(t *testing.T) {
+	if race.Enabled {
+		t.Skip("race instrumentation allocates; alloc counts asserted in the non-race run")
+	}
+	recs := allocTrace(t)
+	for _, name := range PredictorNames() {
+		t.Run(name, func(t *testing.T) {
+			p, ok := NewPredictor(name)
+			if !ok {
+				t.Fatalf("NewPredictor(%q) unknown", name)
+			}
+			replay(p, recs) // warm-up: first-touch fills are allowed to allocate
+			if avg := testing.AllocsPerRun(20, func() { replay(p, recs) }); avg != 0 {
+				t.Errorf("%s: %.2f allocs per steady-state replay, want 0", name, avg)
+			}
+		})
+	}
+}
+
+// TestVariantsZeroAllocSteadyState extends the guarantee to the predictor
+// variants the experiment harness ships beyond the Figure 6/7 set: the
+// filtered PPM and the multi-target (majority-vote) PPM.
+func TestVariantsZeroAllocSteadyState(t *testing.T) {
+	if race.Enabled {
+		t.Skip("race instrumentation allocates; alloc counts asserted in the non-race run")
+	}
+	recs := allocTrace(t)
+	variants := []struct {
+		name  string
+		build func() predictor.IndirectPredictor
+	}{
+		{"PPM-filtered", func() predictor.IndirectPredictor { return core.PaperFiltered() }},
+		{"PPM-multi", func() predictor.IndirectPredictor { return core.NewMultiTarget(10, 4) }},
+	}
+	for _, v := range variants {
+		t.Run(v.name, func(t *testing.T) {
+			p := v.build()
+			replay(p, recs)
+			if avg := testing.AllocsPerRun(20, func() { replay(p, recs) }); avg != 0 {
+				t.Errorf("%s: %.2f allocs per steady-state replay, want 0", v.name, avg)
+			}
+		})
+	}
+}
+
+// TestEngineZeroAllocSteadyState asserts the full engine loop — RAS,
+// counters, every Figure 6 predictor attached — is allocation-free once
+// warmed, since Engine.Process is itself a //ppm:hotpath function.
+func TestEngineZeroAllocSteadyState(t *testing.T) {
+	if race.Enabled {
+		t.Skip("race instrumentation allocates; alloc counts asserted in the non-race run")
+	}
+	recs := allocTrace(t)
+	e := sim.New(Figure6Predictors()...)
+	e.ProcessAll(recs)
+	if avg := testing.AllocsPerRun(10, func() { e.ProcessAll(recs) }); avg != 0 {
+		t.Errorf("engine: %.2f allocs per steady-state pass, want 0", avg)
+	}
+}
+
+// TestOracleExemptFromZeroAlloc documents the deliberate exception: the
+// oracle is a measurement device with unbounded context storage and is
+// annotated //ppm:coldpath rather than made allocation-free. New contexts
+// keep allocating even after a warm pass would have in a hardware model.
+func TestOracleExemptFromZeroAlloc(t *testing.T) {
+	recs := allocTrace(t)
+	o := oracle.New(8)
+	replay(o, recs)
+	// No assertion on a positive count — just prove the exemption is
+	// load-bearing by exercising the same protocol without failing.
+	replay(o, recs)
+}

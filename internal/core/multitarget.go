@@ -22,9 +22,13 @@ type mtSlot struct {
 	count  uint8
 }
 
-// multiEntry is a Markov state with frequency-counted outgoing arcs.
+// multiEntry is a Markov state with frequency-counted outgoing arcs. slots
+// is a fixed-capacity window into the table's single backing array,
+// allocated once at construction; n tracks how many arcs are in use, so the
+// steady-state train path never grows anything.
 type multiEntry struct {
 	valid bool
+	n     int
 	slots []mtSlot
 }
 
@@ -36,12 +40,19 @@ type MultiMarkovTable struct {
 }
 
 // NewMultiMarkovTable builds the order-j table with 2^order states of k
-// arcs each. Panics if k < 1.
+// arcs each. All slot storage — 2^order * k arcs — is carved out of one
+// backing array here, modelling the fixed SRAM budget the hardware would
+// commit to; Update never allocates. Panics if k < 1.
 func NewMultiMarkovTable(order uint, k int) *MultiMarkovTable {
 	if k < 1 {
 		panic("core: multi-target slots must be >= 1")
 	}
-	return &MultiMarkovTable{order: order, k: k, entries: make([]multiEntry, 1<<order)}
+	t := &MultiMarkovTable{order: order, k: k, entries: make([]multiEntry, 1<<order)}
+	backing := make([]mtSlot, len(t.entries)*k)
+	for i := range t.entries {
+		t.entries[i].slots = backing[i*k : (i+1)*k]
+	}
+	return t
 }
 
 // lookup returns the majority-vote target for the state, or ok=false when
@@ -53,7 +64,7 @@ func (t *MultiMarkovTable) lookup(idx uint64) (uint64, bool) {
 	}
 	best := -1
 	var bestCount uint8
-	for i := range e.slots {
+	for i := 0; i < e.n; i++ {
 		if e.slots[i].count > bestCount {
 			bestCount = e.slots[i].count
 			best = i
@@ -71,14 +82,11 @@ func (t *MultiMarkovTable) lookup(idx uint64) (uint64, bool) {
 // distribution keeps adapting (standard frequency-count aging).
 func (t *MultiMarkovTable) train(idx uint64, target uint64) {
 	e := &t.entries[idx&uint64(len(t.entries)-1)]
-	if !e.valid {
-		e.valid = true
-		e.slots = make([]mtSlot, 0, t.k)
-	}
-	for i := range e.slots {
+	e.valid = true
+	for i := 0; i < e.n; i++ {
 		if e.slots[i].target == target {
 			if e.slots[i].count >= 15 {
-				for j := range e.slots {
+				for j := 0; j < e.n; j++ {
 					e.slots[j].count >>= 1
 				}
 			}
@@ -86,12 +94,13 @@ func (t *MultiMarkovTable) train(idx uint64, target uint64) {
 			return
 		}
 	}
-	if len(e.slots) < t.k {
-		e.slots = append(e.slots, mtSlot{target: target, count: 1})
+	if e.n < t.k {
+		e.slots[e.n] = mtSlot{target: target, count: 1}
+		e.n++
 		return
 	}
 	min := 0
-	for i := 1; i < len(e.slots); i++ {
+	for i := 1; i < e.n; i++ {
 		if e.slots[i].count < e.slots[min].count {
 			min = i
 		}
@@ -101,7 +110,12 @@ func (t *MultiMarkovTable) train(idx uint64, target uint64) {
 
 func (t *MultiMarkovTable) reset() {
 	for i := range t.entries {
-		t.entries[i] = multiEntry{}
+		e := &t.entries[i]
+		e.valid = false
+		e.n = 0
+		for j := range e.slots {
+			e.slots[j] = mtSlot{}
+		}
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"repro/internal/predictor"
+	"repro/internal/race"
 )
 
 func TestMultiPPMLearnsCycle(t *testing.T) {
@@ -122,4 +123,29 @@ func TestNewMultiTargetPanics(t *testing.T) {
 		}
 	}()
 	NewMultiMarkovTable(3, 0)
+}
+
+// TestMultiMarkovTrainZeroAllocSteadyState is the regression test for the
+// per-entry slot storage: all k-slot backing is carved from one array at
+// construction, so train never allocates — not even on a state's first
+// touch or on slot replacement.
+func TestMultiMarkovTrainZeroAllocSteadyState(t *testing.T) {
+	if race.Enabled {
+		t.Skip("race instrumentation allocates; alloc counts asserted in the non-race run")
+	}
+	tab := NewMultiMarkovTable(6, 4)
+	targets := []uint64{0x14000af4, 0x1400b128, 0x1400c75c, 0x1400d390, 0x1400e000}
+	i := 0
+	if avg := testing.AllocsPerRun(100, func() {
+		// Mix first-touch fills, count hits, saturation halving and
+		// lowest-count replacement across the index space.
+		for j := 0; j < 128; j++ {
+			idx := uint64(i*31+j) % 64
+			tab.train(idx, targets[(i+j)%len(targets)])
+			tab.lookup(idx)
+		}
+		i++
+	}); avg != 0 {
+		t.Errorf("train/lookup allocated %.2f per run, want 0", avg)
+	}
 }

@@ -23,6 +23,8 @@ func NewHysteresis() Hysteresis { return Hysteresis{v: 1} }
 func (h Hysteresis) Value() uint8 { return h.v }
 
 // OnHit strengthens confidence after the stored target proved correct.
+//
+//ppm:hotpath
 func (h *Hysteresis) OnHit() {
 	if h.v < 3 {
 		h.v++
@@ -33,6 +35,8 @@ func (h *Hysteresis) OnHit() {
 // reports whether the entry's target should be replaced now. Replacement
 // happens when a miss arrives with the counter already at zero; the counter
 // is then reset to the weak state for the incoming target.
+//
+//ppm:hotpath
 func (h *Hysteresis) OnMiss() (replace bool) {
 	if h.v == 0 {
 		h.v = 1
@@ -110,6 +114,8 @@ func NewSelection(mode SelectionMode) Selection {
 func (s Selection) State() uint8 { return s.state }
 
 // Selected returns the correlation type the branch currently uses.
+//
+//ppm:hotpath
 func (s Selection) Selected() Correlation {
 	if s.state <= WeaklyPB {
 		return PB
@@ -122,6 +128,8 @@ func (s Selection) Selected() Correlation {
 // Solid arcs in Figure 5 (correct prediction) strengthen the current
 // correlation type; dotted arcs (misprediction) move toward the other type —
 // one step in Normal mode, two steps from the PB side in PIBBiased mode.
+//
+//ppm:hotpath
 func (s *Selection) Update(correct bool) {
 	if correct {
 		switch s.state {

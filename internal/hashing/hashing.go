@@ -12,6 +12,8 @@
 package hashing
 
 // Mask returns a mask of the n low-order bits. n must be <= 64.
+//
+//ppm:hotpath
 func Mask(n uint) uint64 {
 	if n >= 64 {
 		return ^uint64(0)
@@ -20,11 +22,15 @@ func Mask(n uint) uint64 {
 }
 
 // Select extracts the n low-order bits of v.
+//
+//ppm:hotpath
 func Select(v uint64, n uint) uint64 { return v & Mask(n) }
 
 // Fold XOR-folds the in low-order bits of v into out bits by XORing
 // successive out-bit chunks together. If out >= in the value is returned
 // masked to in bits. out must be > 0.
+//
+//ppm:hotpath
 func Fold(v uint64, in, out uint) uint64 {
 	v = Select(v, in)
 	if out == 0 {
@@ -43,6 +49,8 @@ func Fold(v uint64, in, out uint) uint64 {
 
 // GShare forms a bits-wide index by XORing the branch address (shifted right
 // by 2 to drop the instruction alignment bits) with the history register.
+//
+//ppm:hotpath
 func GShare(history, pc uint64, n uint) uint64 {
 	return (history ^ (pc >> 2)) & Mask(n)
 }
@@ -52,6 +60,8 @@ func GShare(history, pc uint64, n uint) uint64 {
 // low-order bits are selected, folded to foldBits bits, shifted left by i,
 // and XORed into the accumulator. The result occupies at most
 // foldBits+len(targets)-1 bits.
+//
+//ppm:hotpath
 func SFSX(targets []uint64, selBits, foldBits uint) uint64 {
 	var h uint64
 	for i, t := range targets {
@@ -73,6 +83,8 @@ func SFSX(targets []uint64, selBits, foldBits uint) uint64 {
 // If fewer than `order` targets are available the hash is computed over the
 // ones present (early-execution warm-up), which matches a hardware PHR that
 // powers up zeroed.
+//
+//ppm:hotpath
 func SFSXS(targets []uint64, selBits, foldBits, order uint) uint64 {
 	if order == 0 {
 		return 0
@@ -97,6 +109,8 @@ func SFSXS(targets []uint64, selBits, foldBits, order uint) uint64 {
 // low-order bit positions and selects the order low-order bits of the hash.
 // The paper found little accuracy difference between the two; both are kept
 // so the claim can be checked experimentally.
+//
+//ppm:hotpath
 func SFSXSLow(targets []uint64, selBits, foldBits, order uint) uint64 {
 	if order == 0 {
 		return 0
@@ -118,6 +132,8 @@ func SFSXSLow(targets []uint64, selBits, foldBits, order uint) uint64 {
 // components. Reversing the history places the most recently shifted-in
 // target bits in the high-order index positions, spreading recent-path
 // information across the table.
+//
+//ppm:hotpath
 func ReverseInterleave(history uint64, historyBits uint, pc uint64, n uint) uint64 {
 	// The shift register keeps the most recent target in its low-order
 	// bits; bit-reversing within the n-bit window places those most
@@ -150,6 +166,8 @@ func ReverseInterleave(history uint64, historyBits uint, pc uint64, n uint) uint
 // Mix64 is a splitmix64-style finalizer used to derive well-distributed
 // table tags and workload hash functions from raw addresses. It is a
 // bijection on 64-bit values.
+//
+//ppm:hotpath
 func Mix64(x uint64) uint64 {
 	x ^= x >> 30
 	x *= 0xbf58476d1ce4e5b9

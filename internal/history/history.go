@@ -101,6 +101,8 @@ func (p *PHR) Depth() int { return len(p.ring) }
 
 // Observe shifts the record's target into the register if the record
 // belongs to the PHR's stream. It returns true if the register advanced.
+//
+//ppm:hotpath
 func (p *PHR) Observe(r trace.Record) bool {
 	if !p.stream.Accepts(r) {
 		return false
@@ -110,6 +112,8 @@ func (p *PHR) Observe(r trace.Record) bool {
 }
 
 // Push unconditionally shifts a target into the register.
+//
+//ppm:hotpath
 func (p *PHR) Push(target uint64) {
 	p.head++
 	if p.head == len(p.ring) {
@@ -137,15 +141,24 @@ func (p *PHR) Push(target uint64) {
 // Len reports how many targets have been recorded, up to the depth.
 func (p *PHR) Len() int { return p.filled }
 
-// Recent appends the n most recent targets (most recent first) to dst and
-// returns the extended slice. Fewer than n are returned during warm-up.
+// Recent fills dst's backing storage with the n most recent targets (most
+// recent first) and returns the resulting length-n slice. Fewer than n are
+// returned during warm-up. Callers on the per-lookup path pass a
+// struct-owned scratch slice with capacity >= n so no allocation occurs;
+// undersized (or nil) dst grows once.
+//
+//ppm:hotpath
 func (p *PHR) Recent(dst []uint64, n int) []uint64 {
 	if n > p.filled {
 		n = p.filled
 	}
+	if cap(dst) < n {
+		dst = make([]uint64, n) //lint:coldpath — only for nil/undersized scratch
+	}
+	dst = dst[:n]
 	idx := p.head
 	for i := 0; i < n; i++ {
-		dst = append(dst, p.ring[idx])
+		dst[i] = p.ring[idx]
 		idx--
 		if idx < 0 {
 			idx = len(p.ring) - 1
@@ -157,6 +170,8 @@ func (p *PHR) Recent(dst []uint64, n int) []uint64 {
 // Packed returns the shift-register view: bitsPer low bits of each recorded
 // target, most recent target in the least significant bits, truncated to
 // packedBits.
+//
+//ppm:hotpath
 func (p *PHR) Packed() uint64 { return p.packed }
 
 // State is a snapshot of a PHR's contents, used by the workload generator

@@ -1,0 +1,252 @@
+// Package hotpath reports allocation sources inside hot-path functions.
+//
+// The hot set (see internal/lint/hotset) is every function reachable from a
+// predictor's per-lookup entry points. On that set the analyzer flags the
+// constructs that allocate — or can allocate — per call in a steady-state
+// simulator loop:
+//
+//   - the make/new builtins and any append
+//   - map writes (indexed assignment, ++/--, delete) and range over a map
+//   - defer and go statements
+//   - function literals (closures capture their environment on the heap)
+//   - &T{...} composite literals and slice/map-typed composite literals
+//   - calls into fmt or strconv, and strings.Builder method calls
+//   - interface boxing: passing a concrete-typed argument to an
+//     interface-typed parameter at a call site
+//   - calls to functions annotated //ppm:coldpath
+//
+// Cold branches inside a hot function (table fill on first touch, eviction)
+// are suppressed line-by-line with `//lint:coldpath`; whole functions opt
+// out with a `//ppm:coldpath` doc directive, which also flags any hot
+// caller still reaching them.
+package hotpath
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/lint"
+	"repro/internal/lint/hotset"
+)
+
+// Analyzer reports allocation sources on hot-path functions.
+var Analyzer = &lint.Analyzer{
+	Name: "hotpath",
+	Doc: "report allocation sources (make/append/new, map writes, boxing, " +
+		"closures, defer, fmt/strconv, range-over-map) in functions reachable " +
+		"from predictor Predict/Update/Lookup/Observe roots or //ppm:hotpath " +
+		"annotations; suppress cold branches with //lint:coldpath",
+	Run: run,
+}
+
+// coldDirective is the per-line escape hatch for cold branches inside hot
+// functions.
+const coldDirective = "coldpath"
+
+// allocPackages are the stdlib packages whose calls imply formatting or
+// conversion allocation on the hot path.
+var allocPackages = map[string]bool{
+	"fmt":     true,
+	"strconv": true,
+}
+
+func run(pass *lint.Pass) error {
+	hot, cold := hotset.Compute(pass)
+	if len(hot) == 0 {
+		return nil
+	}
+
+	escapes := map[*ast.File]map[int]bool{}
+	for _, hf := range hot {
+		if escapes[hf.File] == nil {
+			escapes[hf.File] = lint.EscapeLines(pass.Fset, hf.File, coldDirective)
+		}
+		checkFunc(pass, hf, escapes[hf.File], cold)
+	}
+	return nil
+}
+
+func checkFunc(pass *lint.Pass, hf *hotset.Func, escaped map[int]bool, cold map[types.Object]bool) {
+	info := pass.TypesInfo
+	report := func(pos token.Pos, format string, args ...interface{}) {
+		if lint.Escaped(pass.Fset, escaped, pos) {
+			return
+		}
+		args = append(args, hf.Root)
+		pass.Reportf(pos, format+" (hot path via %s)", args...)
+	}
+
+	ast.Inspect(hf.Decl.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.CallExpr:
+			checkCall(pass, x, report, cold)
+
+		case *ast.AssignStmt:
+			for _, lhs := range x.Lhs {
+				if ix, ok := lhs.(*ast.IndexExpr); ok && isMap(info, ix.X) {
+					report(lhs.Pos(), "map write allocates on insert")
+				}
+			}
+
+		case *ast.IncDecStmt:
+			if ix, ok := x.X.(*ast.IndexExpr); ok && isMap(info, ix.X) {
+				report(x.Pos(), "map write allocates on insert")
+			}
+
+		case *ast.RangeStmt:
+			if isMap(info, x.X) {
+				report(x.Pos(), "range over map hashes every key per iteration")
+			}
+
+		case *ast.DeferStmt:
+			report(x.Pos(), "defer allocates a frame record")
+
+		case *ast.GoStmt:
+			report(x.Pos(), "go statement allocates a goroutine")
+
+		case *ast.FuncLit:
+			report(x.Pos(), "function literal may capture variables on the heap")
+			return false // the closure body is not itself the hot function
+
+		case *ast.UnaryExpr:
+			if x.Op == token.AND {
+				if _, ok := lint.Unparen(info, x.X).(*ast.CompositeLit); ok {
+					report(x.Pos(), "&composite literal escapes to the heap")
+				}
+			}
+
+		case *ast.CompositeLit:
+			if t := info.TypeOf(x); t != nil {
+				switch t.Underlying().(type) {
+				case *types.Slice:
+					report(x.Pos(), "slice literal allocates its backing array")
+				case *types.Map:
+					report(x.Pos(), "map literal allocates")
+				}
+			}
+		}
+		return true
+	})
+}
+
+// isMap reports whether e has map type.
+func isMap(info *types.Info, e ast.Expr) bool {
+	t := info.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+// checkCall flags allocating builtins, allocating stdlib calls, calls to
+// //ppm:coldpath functions, and interface boxing of arguments.
+func checkCall(pass *lint.Pass, call *ast.CallExpr, report func(token.Pos, string, ...interface{}), cold map[types.Object]bool) {
+	info := pass.TypesInfo
+
+	switch fun := lint.Unparen(info, call.Fun).(type) {
+	case *ast.Ident:
+		if b, ok := info.ObjectOf(fun).(*types.Builtin); ok {
+			switch b.Name() {
+			case "make":
+				report(call.Pos(), "make allocates; hoist into a struct-owned buffer")
+			case "new":
+				report(call.Pos(), "new allocates; hoist into a struct-owned buffer")
+			case "append":
+				report(call.Pos(), "append may grow and allocate; preallocate backing storage")
+			case "delete":
+				report(call.Pos(), "map delete rehashes the key per call")
+			}
+			return
+		}
+	}
+
+	if obj := lint.ObjectOf(info, call.Fun); obj != nil {
+		if cold[obj] {
+			report(call.Pos(), "call to //ppm:coldpath function %s", obj.Name())
+		}
+		if fn, ok := obj.(*types.Func); ok && fn.Pkg() != nil {
+			if allocPackages[fn.Pkg().Path()] {
+				report(call.Pos(), "%s.%s formats and allocates", fn.Pkg().Name(), fn.Name())
+			}
+			if isBuilderMethod(fn) {
+				report(call.Pos(), "strings.Builder grows a heap buffer")
+			}
+		}
+	}
+
+	checkBoxing(pass, call, report)
+}
+
+// isBuilderMethod reports whether fn is a method of strings.Builder.
+func isBuilderMethod(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	rt := sig.Recv().Type()
+	if p, ok := rt.(*types.Pointer); ok {
+		rt = p.Elem()
+	}
+	named, ok := rt.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Builder" && obj.Pkg() != nil && obj.Pkg().Path() == "strings"
+}
+
+// checkBoxing flags concrete-typed arguments passed to interface-typed
+// parameters: the argument is boxed, which heap-allocates for any value
+// wider than a pointer word.
+func checkBoxing(pass *lint.Pass, call *ast.CallExpr, report func(token.Pos, string, ...interface{})) {
+	info := pass.TypesInfo
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+		return // conversion, not a call
+	}
+	sig, ok := info.TypeOf(call.Fun).(*types.Signature)
+	if !ok {
+		return
+	}
+	if _, isBuiltin := info.ObjectOf(identOf(call.Fun)).(*types.Builtin); isBuiltin {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis.IsValid() {
+				continue // slice passed through, no per-arg boxing
+			}
+			pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		default:
+			continue
+		}
+		if !types.IsInterface(pt) {
+			continue
+		}
+		at := info.TypeOf(arg)
+		if at == nil || types.IsInterface(at) {
+			continue
+		}
+		if b, ok := at.Underlying().(*types.Basic); ok && b.Kind() == types.UntypedNil {
+			continue
+		}
+		report(arg.Pos(), "argument boxed into interface parameter")
+	}
+}
+
+// identOf returns the identifier a call's Fun resolves to, or nil.
+func identOf(e ast.Expr) *ast.Ident {
+	switch x := e.(type) {
+	case *ast.Ident:
+		return x
+	case *ast.SelectorExpr:
+		return x.Sel
+	}
+	return nil
+}

@@ -1,0 +1,118 @@
+// Package a exercises the hotpath analyzer: functions reachable from
+// predictor entry points (or annotated //ppm:hotpath) must not allocate,
+// with //lint:coldpath suppressing intentional cold branches and
+// //ppm:coldpath opting whole functions out.
+package a
+
+import (
+	"fmt"
+
+	"repro/internal/predictor"
+	"repro/internal/trace"
+)
+
+// sink accepts anything, forcing callers to box concrete arguments.
+func sink(v interface{}) { _ = v }
+
+// box is a tiny heap-escape target for the composite-literal check.
+type box struct{ v uint64 }
+
+// Hot implements IndirectPredictor, so Predict/Update/Observe are hot roots.
+type Hot struct {
+	last    uint64
+	seen    map[uint64]uint64
+	scratch []uint64
+	order   []uint64
+}
+
+var _ predictor.IndirectPredictor = (*Hot)(nil)
+
+// NewHot is construction-time code: allocation here is expected and the
+// analyzer must stay silent.
+func NewHot() *Hot {
+	return &Hot{seen: make(map[uint64]uint64), scratch: make([]uint64, 0, 8)}
+}
+
+// Name identifies the predictor.
+func (h *Hot) Name() string { return "hot" }
+
+// Predict returns the last committed target.
+func (h *Hot) Predict(pc uint64) (uint64, bool) {
+	buf := make([]uint64, 4) // want `make allocates`
+	_ = buf
+	h.scratch = append(h.scratch, pc) // want `append may grow and allocate`
+	for k := range h.seen {           // want `range over map`
+		_ = k
+	}
+	return h.helper(pc), h.last != 0
+}
+
+// helper is hot by reachability from Predict.
+func (h *Hot) helper(pc uint64) uint64 {
+	p := new(uint64) // want `new allocates`
+	*p = pc
+	return h.last + *p
+}
+
+// Update trains with the resolved target.
+func (h *Hot) Update(pc, target uint64) {
+	h.seen[pc] = target            // want `map write allocates on insert`
+	sink(target)                   // want `argument boxed into interface parameter`
+	s := fmt.Sprintf("%d", target) // want `fmt\.Sprintf formats and allocates` `argument boxed into interface parameter`
+	_ = s
+	h.ensure(pc)
+	h.rebuild() // want `call to //ppm:coldpath function rebuild`
+}
+
+// Observe advances history.
+func (h *Hot) Observe(r trace.Record) {
+	defer h.flush()            // want `defer allocates a frame record`
+	f := func() { h.last = 0 } // want `function literal may capture`
+	_ = f
+	h.order = []uint64{h.last} // want `slice literal allocates its backing array`
+	_ = r
+}
+
+// flush is hot via the defer in Observe.
+func (h *Hot) flush() {
+	h.last = 0
+	b := &box{v: h.last} // want `&composite literal escapes to the heap`
+	_ = b
+}
+
+// ensure fills backing storage on first touch — a cold branch by
+// construction, suppressed line-by-line.
+func (h *Hot) ensure(pc uint64) {
+	if h.scratch == nil {
+		h.scratch = make([]uint64, 0, 8) //lint:coldpath
+	}
+	_ = pc
+}
+
+// rebuild is reporting-time bookkeeping, excluded from the hot set; its own
+// body may allocate freely, but hot callers are flagged.
+//
+//ppm:coldpath
+func (h *Hot) rebuild() {
+	h.seen = make(map[uint64]uint64)
+}
+
+// Mix is a per-lookup helper in a support package, hot by annotation.
+//
+//ppm:hotpath
+func Mix(x uint64) uint64 {
+	tmp := map[uint64]bool{x: true} // want `map literal allocates`
+	_ = tmp
+	x ^= x >> 33
+	return x
+}
+
+// Report renders statistics after the run; it is not reachable from any
+// root and not annotated, so its allocations are fine.
+func Report(h *Hot) string {
+	parts := make([]string, 0, len(h.seen))
+	for pc := range h.seen {
+		parts = append(parts, fmt.Sprintf("%#x", pc))
+	}
+	return fmt.Sprint(parts)
+}

@@ -1,0 +1,140 @@
+// Package ifacecall flags devirtualizable dynamic dispatch on hot paths.
+//
+// A method call through an interface value inside a loop of a hot-path
+// function (see internal/lint/hotset) pays an itab load and an indirect
+// call per iteration, and blocks inlining. When exactly one concrete type
+// in scope — the analyzed package plus its direct imports — implements the
+// interface, the dispatch buys nothing: the analyzer reports it and names
+// the unique implementation so the call can be devirtualized (store the
+// concrete type, or type-switch once outside the loop).
+//
+// Intentional dispatch (a registry that future packages will extend) is
+// suppressed with a `//lint:dynamic` comment on or above the call line.
+package ifacecall
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/lint"
+	"repro/internal/lint/hotset"
+)
+
+// Analyzer reports loop-carried interface calls with a provably unique
+// concrete implementation.
+var Analyzer = &lint.Analyzer{
+	Name: "ifacecall",
+	Doc: "report dynamic dispatch inside loops of hot-path functions where " +
+		"exactly one concrete type in scope implements the interface, " +
+		"suggesting devirtualization; suppress with //lint:dynamic",
+	Run: run,
+}
+
+// dynDirective suppresses a finding for dispatch that is dynamic on purpose.
+const dynDirective = "dynamic"
+
+func run(pass *lint.Pass) error {
+	hot, _ := hotset.Compute(pass)
+	if len(hot) == 0 {
+		return nil
+	}
+
+	impls := map[*types.Interface][]types.Object{}
+	escapes := map[*ast.File]map[int]bool{}
+
+	for _, hf := range hot {
+		if escapes[hf.File] == nil {
+			escapes[hf.File] = lint.EscapeLines(pass.Fset, hf.File, dynDirective)
+		}
+		esc := escapes[hf.File]
+		lint.WalkStack(hf.Decl.Body, func(n ast.Node, stack []ast.Node) {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !inLoop(stack) {
+				return
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return
+			}
+			selection, ok := pass.TypesInfo.Selections[sel]
+			if !ok || selection.Kind() != types.MethodVal {
+				return
+			}
+			recv := selection.Recv()
+			iface, ok := recv.Underlying().(*types.Interface)
+			if !ok {
+				return
+			}
+			if lint.Escaped(pass.Fset, esc, call.Pos()) {
+				return
+			}
+			only := uniqueImpl(pass.Pkg, iface, impls)
+			if only == nil {
+				return
+			}
+			pass.Reportf(call.Pos(),
+				"dynamic dispatch of %s.%s in a loop: %s is the only implementation in scope; devirtualize or annotate //lint:dynamic (hot path via %s)",
+				typeLabel(recv), sel.Sel.Name, only.Name(), hf.Root)
+		})
+	}
+	return nil
+}
+
+// inLoop reports whether the node stack contains a for or range statement,
+// stopping at function-literal boundaries (a loop outside the closure does
+// not make the closure body loop-carried).
+func inLoop(stack []ast.Node) bool {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch stack[i].(type) {
+		case *ast.ForStmt, *ast.RangeStmt:
+			return true
+		case *ast.FuncLit, *ast.FuncDecl:
+			return false
+		}
+	}
+	return false
+}
+
+// uniqueImpl returns the single concrete type implementing iface among the
+// package's own scope and its direct imports, or nil when the count is not
+// exactly one. Results are memoized per interface.
+func uniqueImpl(pkg *types.Package, iface *types.Interface, memo map[*types.Interface][]types.Object) types.Object {
+	if iface.NumMethods() == 0 {
+		return nil
+	}
+	impls, ok := memo[iface]
+	if !ok {
+		scopes := []*types.Scope{pkg.Scope()}
+		for _, imp := range pkg.Imports() {
+			scopes = append(scopes, imp.Scope())
+		}
+		for _, scope := range scopes {
+			for _, name := range scope.Names() {
+				tn, ok := scope.Lookup(name).(*types.TypeName)
+				if !ok || tn.IsAlias() {
+					continue
+				}
+				t := tn.Type()
+				if types.IsInterface(t) {
+					continue
+				}
+				if types.Implements(t, iface) || types.Implements(types.NewPointer(t), iface) {
+					impls = append(impls, tn)
+				}
+			}
+		}
+		memo[iface] = impls
+	}
+	if len(impls) == 1 {
+		return impls[0]
+	}
+	return nil
+}
+
+// typeLabel renders the receiver interface's name for diagnostics.
+func typeLabel(t types.Type) string {
+	if named, ok := t.(*types.Named); ok {
+		return named.Obj().Name()
+	}
+	return t.String()
+}

@@ -1,0 +1,12 @@
+package ifacecall_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/ifacecall"
+	"repro/internal/lint/linttest"
+)
+
+func TestAnalyzer(t *testing.T) {
+	linttest.Run(t, ifacecall.Analyzer, "testdata/src/a")
+}

@@ -1,0 +1,68 @@
+// Package a exercises the ifacecall analyzer: interface method calls in
+// loops of hot-path functions are flagged when exactly one concrete type in
+// scope implements the interface.
+package a
+
+import (
+	"repro/internal/predictor"
+	"repro/internal/trace"
+)
+
+// Hasher is the single-implementation interface the analyzer should flag.
+type Hasher interface{ Hash(uint64) uint64 }
+
+// SFS is the only Hasher in scope.
+type SFS struct{ shift uint }
+
+// Hash folds the address.
+func (s SFS) Hash(x uint64) uint64 { return x >> s.shift }
+
+// Policy has two implementations, so its dispatch is genuinely dynamic.
+type Policy interface{ Keep(uint64) bool }
+
+// KeepAll retains every entry.
+type KeepAll struct{}
+
+// Keep always retains.
+func (KeepAll) Keep(uint64) bool { return true }
+
+// KeepNone retains nothing.
+type KeepNone struct{}
+
+// Keep never retains.
+func (KeepNone) Keep(uint64) bool { return false }
+
+// Hot implements IndirectPredictor; its methods are hot roots.
+type Hot struct {
+	h    Hasher
+	p    Policy
+	tab  []uint64
+	last uint64
+}
+
+var _ predictor.IndirectPredictor = (*Hot)(nil)
+
+// Name identifies the predictor.
+func (h *Hot) Name() string { return "hot" }
+
+// Predict probes the table with the hashed path.
+func (h *Hot) Predict(pc uint64) (uint64, bool) {
+	for i := range h.tab {
+		h.tab[i] = h.h.Hash(pc) // want `dynamic dispatch of Hasher\.Hash in a loop: SFS is the only implementation in scope`
+	}
+	return h.last, h.last != 0
+}
+
+// Update trains with the resolved target.
+func (h *Hot) Update(pc, target uint64) {
+	h.last = h.h.Hash(target) // outside any loop: not flagged
+	for i := 0; i < 4; i++ {
+		if h.p.Keep(pc) { // two implementations: not flagged
+			h.last = target
+		}
+		h.last ^= h.h.Hash(pc) //lint:dynamic
+	}
+}
+
+// Observe advances history.
+func (h *Hot) Observe(r trace.Record) { _ = r }

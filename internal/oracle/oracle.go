@@ -59,7 +59,11 @@ func mix(x uint64) uint64 {
 	return x
 }
 
-// Predict implements predictor.IndirectPredictor.
+// Predict implements predictor.IndirectPredictor. The oracle is a
+// measurement device, not a hardware model: its unbounded map lookups are
+// exempt from the hot-path purity rules.
+//
+//ppm:coldpath
 func (o *Oracle) Predict(pc uint64) (uint64, bool) {
 	k := o.key(pc)
 	o.pending = k
@@ -68,9 +72,13 @@ func (o *Oracle) Predict(pc uint64) (uint64, bool) {
 }
 
 // Update implements predictor.IndirectPredictor.
+//
+//ppm:coldpath
 func (o *Oracle) Update(_, target uint64) { o.table[o.pending] = target }
 
 // Observe implements predictor.IndirectPredictor.
+//
+//ppm:coldpath
 func (o *Oracle) Observe(r trace.Record) { o.hist.Observe(r) }
 
 // Contexts returns the number of distinct (pc, path) contexts recorded.

@@ -41,22 +41,28 @@ func NewBIU(mode counter.SelectionMode, limit int) *BIU {
 }
 
 // Lookup returns the entry for pc, or nil if the branch has not been seen.
+//
+//ppm:hotpath
 func (b *BIU) Lookup(pc uint64) *BIUEntry { return b.entries[pc] }
 
 // Ensure returns the entry for pc, allocating one (initialized to
-// Strongly-PIB, per the paper) on first use.
+// Strongly-PIB, per the paper) on first use. The allocating branch runs
+// once per static branch — first touch, like a hardware table fill — so it
+// is cold by construction; steady state takes the map-hit early return.
+//
+//ppm:hotpath
 func (b *BIU) Ensure(pc uint64) *BIUEntry {
 	if e, ok := b.entries[pc]; ok {
 		return e
 	}
-	e := &BIUEntry{Sel: counter.NewSelection(b.mode)}
-	b.entries[pc] = e
+	e := &BIUEntry{Sel: counter.NewSelection(b.mode)} //lint:coldpath — first touch
+	b.entries[pc] = e                                 //lint:coldpath
 	if b.limit > 0 {
-		b.order = append(b.order, pc)
+		b.order = append(b.order, pc) //lint:coldpath
 		if len(b.entries) > b.limit {
 			victim := b.order[0]
 			b.order = b.order[1:]
-			delete(b.entries, victim)
+			delete(b.entries, victim) //lint:coldpath — bounded-BIU eviction
 			b.evictions++
 		}
 	}
@@ -64,6 +70,8 @@ func (b *BIU) Ensure(pc uint64) *BIUEntry {
 }
 
 // Observe records the annotation bit carried by a committed branch record.
+//
+//ppm:hotpath
 func (b *BIU) Observe(r trace.Record) {
 	if !r.Class.Indirect() {
 		return

@@ -1,0 +1,10 @@
+//go:build !race
+
+// Package race reports whether the race detector instruments this build.
+// The zero-allocation regression tests skip themselves under -race because
+// race instrumentation itself allocates, which would make AllocsPerRun
+// assertions fail for reasons unrelated to the code under test.
+package race
+
+// Enabled is true when the binary is built with -race.
+const Enabled = false

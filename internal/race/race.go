@@ -1,0 +1,7 @@
+//go:build race
+
+// Package race reports whether the race detector instruments this build.
+package race
+
+// Enabled is true when the binary is built with -race.
+const Enabled = true

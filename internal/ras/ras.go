@@ -66,6 +66,8 @@ func (s *Stack) Pop() (uint64, bool) {
 // the accuracy counters are advanced. It returns the predicted target and
 // whether a prediction was made, for Return records; other classes return
 // ok=false.
+//
+//ppm:hotpath
 func (s *Stack) Process(r trace.Record) (predicted uint64, ok bool) {
 	switch r.Class {
 	case trace.IndirectJsr, trace.JsrCoroutine, trace.DirectCall:

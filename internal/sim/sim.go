@@ -47,6 +47,8 @@ type ValueAware interface {
 }
 
 // Process feeds one committed branch record to every predictor.
+//
+//ppm:hotpath
 func (e *Engine) Process(r trace.Record) {
 	e.records++
 	e.instrs += uint64(r.Gap) + 1

@@ -22,6 +22,8 @@ type Counters struct {
 }
 
 // Record accumulates one prediction outcome.
+//
+//ppm:hotpath
 func (c *Counters) Record(predicted, ok bool) {
 	c.Lookups++
 	switch {
