@@ -4,7 +4,7 @@
 GO      ?= go
 FUZZTIME ?= 30s
 
-.PHONY: all build test race lint fmt vet ppmlint escapes-check escapes-update bench fuzz-smoke ci
+.PHONY: all build test race lint fmt vet ppmlint escapes-check escapes-update bench bench-experiments parallel-smoke fuzz-smoke ci
 
 all: build
 
@@ -44,6 +44,20 @@ escapes-update:
 bench:
 	$(GO) run ./cmd/benchjson -out BENCH_predictors.json
 
+# Benchmark the full experiment grid serial-without-cache vs parallel-with-
+# cache and refresh the checked-in snapshot (wall-clocks, derived speedup,
+# cache traffic). The ns/op numbers reflect the host's core count.
+bench-experiments:
+	$(GO) run ./cmd/benchjson -experiments -out BENCH_experiments.json
+
+# The parallel runner's correctness gate: byte-identical output across -j,
+# single generation per trace, and the scheduler/cache under the race
+# detector — including a short full-grid smoke at -j 4.
+parallel-smoke:
+	$(GO) test -run 'TestParallelDeterminism|TestDisabledCacheMatchesSerial' ./cmd/experiments
+	$(GO) test -race ./internal/tracecache ./internal/sched
+	$(GO) run -race ./cmd/experiments -all -events 2000 -j 4 -cachestats > /dev/null
+
 lint: fmt vet ppmlint
 
 # A short fuzz of the trace reader keeps the parser honest against corpus
@@ -51,4 +65,4 @@ lint: fmt vet ppmlint
 fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzReader -fuzztime=$(FUZZTIME) ./internal/trace
 
-ci: build lint escapes-check race fuzz-smoke
+ci: build lint escapes-check race parallel-smoke fuzz-smoke

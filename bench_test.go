@@ -22,13 +22,14 @@ var (
 	suiteTraces map[string][]trace.Record
 )
 
+// suite materializes the benchmark traces through the shared trace cache
+// (bench.Traces), so they are synthesized once per process and shared with
+// any other harness in the same binary.
 func suite() map[string][]trace.Record {
 	suiteOnce.Do(func() {
 		suiteTraces = make(map[string][]trace.Record)
 		for _, cfg := range bench.Sized(benchEvents) {
-			cfg := cfg
-			recs := make([]trace.Record, 0, cfg.Events*4)
-			cfg.Generate(func(r trace.Record) { recs = append(recs, r) })
+			recs, _ := bench.Traces(cfg)
 			suiteTraces[cfg.String()] = recs
 		}
 	})

@@ -1,14 +1,25 @@
-// Command benchjson runs the predictor throughput benchmarks with -benchmem
-// and renders the results as machine-readable JSON, one row per predictor:
-// name, ns/op, B/op, allocs/op and the iteration count. `make bench`
-// regenerates the checked-in snapshot BENCH_predictors.json, seeding the
-// perf trajectory every future optimisation PR is measured against; the
-// allocs_per_op column should stay 0 — the same invariant the hotpath
-// analyzer and the zero-alloc tests enforce.
+// Command benchjson runs a benchmark suite and renders the results as
+// machine-readable JSON. It has two modes:
 //
-// The benchmark time is fixed in operation-count form (-benchtime=200000x)
-// so the snapshot's shape — rows, iteration counts — is identical across
-// machines; only the ns/op column reflects the host.
+// The default mode runs the predictor throughput benchmarks with -benchmem,
+// one row per predictor: name, ns/op, B/op, allocs/op and the iteration
+// count. `make bench` regenerates the checked-in snapshot
+// BENCH_predictors.json, seeding the perf trajectory every future
+// optimisation PR is measured against; the allocs_per_op column should stay
+// 0 — the same invariant the hotpath analyzer and the zero-alloc tests
+// enforce. The benchmark time is fixed in operation-count form
+// (-benchtime=200000x) so the snapshot's shape — rows, iteration counts —
+// is identical across machines; only the ns/op column reflects the host.
+//
+// With -experiments it instead runs BenchmarkExperiments in
+// cmd/experiments at -benchtime=1x: one serial-nocache pass (the pre-cache
+// baseline) and one parallel-j4-cached pass over the full -all -ext grid.
+// The snapshot (`make bench-experiments` → BENCH_experiments.json) records
+// both wall-clocks, the derived serial/parallel speedup, and the cache
+// traffic metrics proving each suite trace was generated exactly once.
+//
+// The determinism analyzer bans time.Now outside tests, so all timing
+// comes from the testing framework's benchmark clock, parsed from ns/op.
 package main
 
 import (
@@ -22,23 +33,40 @@ import (
 	"strings"
 )
 
-// result is one benchmark row of the JSON snapshot.
+// result is one benchmark row of the JSON snapshot. Metrics carries any
+// custom b.ReportMetric units (e.g. cache-hits) beyond the standard triple.
 type result struct {
-	Name        string  `json:"name"`
-	Iterations  int64   `json:"iterations"`
-	NsPerOp     float64 `json:"ns_per_op"`
-	BytesPerOp  int64   `json:"bytes_per_op"`
-	AllocsPerOp int64   `json:"allocs_per_op"`
+	Name        string             `json:"name"`
+	Iterations  int64              `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  int64              `json:"bytes_per_op"`
+	AllocsPerOp int64              `json:"allocs_per_op"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
 }
 
 func main() {
-	out := flag.String("out", "BENCH_predictors.json", "output file ('-' for stdout)")
-	benchRe := flag.String("bench", "^BenchmarkPredictorThroughput$", "benchmark regexp passed to go test")
-	benchtime := flag.String("benchtime", "200000x", "benchtime passed to go test (operation-count form keeps the snapshot shape stable)")
+	out := flag.String("out", "", "output file ('-' for stdout; default depends on mode)")
+	benchRe := flag.String("bench", "", "benchmark regexp passed to go test (default depends on mode)")
+	benchtime := flag.String("benchtime", "", "benchtime passed to go test (default depends on mode)")
+	experiments := flag.Bool("experiments", false, "snapshot the experiment-grid benchmark (serial vs parallel wall-clock) instead of predictor throughput")
 	flag.Parse()
 
+	pkg, defRe, defTime, defOut := ".", "^BenchmarkPredictorThroughput$", "200000x", "BENCH_predictors.json"
+	if *experiments {
+		pkg, defRe, defTime, defOut = "./cmd/experiments", "^BenchmarkExperiments$", "1x", "BENCH_experiments.json"
+	}
+	if *benchRe == "" {
+		*benchRe = defRe
+	}
+	if *benchtime == "" {
+		*benchtime = defTime
+	}
+	if *out == "" {
+		*out = defOut
+	}
+
 	cmd := exec.Command("go", "test", "-run=^$",
-		"-bench="+*benchRe, "-benchmem", "-benchtime="+*benchtime, ".")
+		"-bench="+*benchRe, "-benchmem", "-benchtime="+*benchtime, pkg)
 	var stdout bytes.Buffer
 	cmd.Stdout = &stdout
 	cmd.Stderr = os.Stderr
@@ -57,7 +85,13 @@ func main() {
 		os.Exit(2)
 	}
 
-	data, err := json.MarshalIndent(map[string][]result{"benchmarks": results}, "", "  ")
+	payload := map[string]any{"benchmarks": results}
+	if *experiments {
+		if s, ok := speedup(results); ok {
+			payload["speedup_serial_over_parallel"] = s
+		}
+	}
+	data, err := json.MarshalIndent(payload, "", "  ")
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(2)
@@ -75,13 +109,35 @@ func main() {
 	fmt.Printf("benchjson: wrote %d benchmark rows to %s\n", len(results), *out)
 }
 
+// speedup derives serial-nocache ns/op over parallel-j4-cached ns/op, the
+// acceptance number of the parallel-runner PR: how much faster one full
+// experiment grid completes with the scheduler and trace cache on.
+func speedup(results []result) (float64, bool) {
+	var serial, parallel float64
+	for _, r := range results {
+		switch r.Name {
+		case "serial-nocache":
+			serial = r.NsPerOp
+		case "parallel-j4-cached":
+			parallel = r.NsPerOp
+		}
+	}
+	if serial <= 0 || parallel <= 0 {
+		return 0, false
+	}
+	// Two decimals: the snapshot is checked in, and sub-percent jitter
+	// would churn it on every regeneration.
+	return float64(int(100*serial/parallel+0.5)) / 100, true
+}
+
 // parse extracts rows from `go test -bench` output. A -benchmem line looks
 // like:
 //
 //	BenchmarkPredictorThroughput/BTB-8  200000  52.1 ns/op  0 B/op  0 allocs/op
 //
-// Rows keep the tool's output order, which follows the declared predictor
-// display order and is therefore deterministic.
+// Unknown units (custom b.ReportMetric values such as cache-hits) land in
+// the row's Metrics map. Rows keep the tool's output order, which follows
+// the declared sub-benchmark order and is therefore deterministic.
 func parse(output string) ([]result, error) {
 	var results []result
 	for _, line := range strings.Split(output, "\n") {
@@ -97,13 +153,22 @@ func parse(output string) ([]result, error) {
 		r.Iterations = iters
 		for i := 2; i+1 < len(fields); i += 2 {
 			v := fields[i]
-			switch fields[i+1] {
+			switch unit := fields[i+1]; unit {
 			case "ns/op":
 				r.NsPerOp, err = strconv.ParseFloat(v, 64)
 			case "B/op":
 				r.BytesPerOp, err = strconv.ParseInt(v, 10, 64)
 			case "allocs/op":
 				r.AllocsPerOp, err = strconv.ParseInt(v, 10, 64)
+			default:
+				var f float64
+				f, err = strconv.ParseFloat(v, 64)
+				if err == nil {
+					if r.Metrics == nil {
+						r.Metrics = make(map[string]float64)
+					}
+					r.Metrics[unit] = f
+				}
 			}
 			if err != nil {
 				return nil, fmt.Errorf("malformed value %q in %q", v, line)
@@ -115,9 +180,9 @@ func parse(output string) ([]result, error) {
 }
 
 // benchName strips the benchmark function prefix and the trailing
-// -GOMAXPROCS suffix, leaving the predictor label (e.g. "BTB"). The suffix
-// is only present when GOMAXPROCS > 1 and is always numeric — labels like
-// "TC-PIB" must survive.
+// -GOMAXPROCS suffix, leaving the sub-benchmark label (e.g. "BTB" or
+// "serial-nocache"). The suffix is only present when GOMAXPROCS > 1 and is
+// always numeric — labels like "TC-PIB" must survive.
 func benchName(full string) string {
 	if i := strings.LastIndexByte(full, '-'); i > 0 {
 		if _, err := strconv.Atoi(full[i+1:]); err == nil {

@@ -2,31 +2,26 @@ package main
 
 import (
 	"fmt"
-	"os"
 
 	"repro/internal/core"
 	"repro/internal/history"
 	"repro/internal/predictor"
 	"repro/internal/report"
-	"repro/internal/sim"
 	"repro/internal/stats"
-	"repro/internal/trace"
 	"repro/internal/twolevel"
-	"repro/internal/workload"
 )
 
-// meanOver runs a predictor-set constructor over the suite and returns the
-// mean misprediction ratio per predictor name, preserving order.
-func meanOver(suite []workload.Config, build func() []predictor.IndirectPredictor) ([]string, map[string]float64) {
+// meanOver runs a predictor-set constructor over the suite (cells sharded
+// across the pool, traces recalled from the cache) and returns the mean
+// misprediction ratio per predictor name, preserving order.
+func meanOver(e *env, build func() []predictor.IndirectPredictor) ([]string, map[string]float64) {
 	perPred := map[string][]stats.Counters{}
 	var names []string
 	for _, p := range build() {
 		names = append(names, p.Name())
 	}
-	for _, cfg := range suite {
-		recs := make([]trace.Record, 0, cfg.Events*4)
-		cfg.Generate(func(r trace.Record) { recs = append(recs, r) })
-		for _, c := range sim.Run(recs, build()...) {
+	for _, res := range e.simulate(build) {
+		for _, c := range res.Counters {
 			perPred[c.Predictor] = append(perPred[c.Predictor], c)
 		}
 	}
@@ -40,14 +35,14 @@ func meanOver(suite []workload.Config, build func() []predictor.IndirectPredicto
 // printOrderSweep regenerates the table-size question the paper leaves
 // open: PPM accuracy as the order m (and with it the 2^1+...+2^m entry
 // budget) varies.
-func printOrderSweep(suite []workload.Config) {
+func printOrderSweep(e *env) {
 	t := report.NewTable("Extension: PPM order / table-size sweep (mean mispred %, PPM-hyb)",
 		"order", "entries", "mean mispred %")
 	for _, order := range []int{2, 4, 6, 8, 10, 12} {
 		cfg := core.DefaultConfig(core.Hybrid)
 		cfg.Order = order
 		cfg.Name = fmt.Sprintf("PPM-hyb-o%d", order)
-		_, means := meanOver(suite, func() []predictor.IndirectPredictor {
+		_, means := meanOver(e, func() []predictor.IndirectPredictor {
 			return []predictor.IndirectPredictor{core.New(cfg)}
 		})
 		entries := 1
@@ -56,19 +51,19 @@ func printOrderSweep(suite []workload.Config) {
 		}
 		t.AddRowf(order, entries, 100*means[cfg.Name])
 	}
-	t.Render(os.Stdout)
-	fmt.Println()
+	t.Render(e.out)
+	fmt.Fprintln(e.out)
 }
 
 // printPathLengthSweep addresses the sensitivity the paper explicitly did
 // not: how TC and GAp accuracy depends on recorded path length.
-func printPathLengthSweep(suite []workload.Config) {
+func printPathLengthSweep(e *env) {
 	t := report.NewTable("Extension: TC/GAp path-length sensitivity (mean mispred %)",
 		"path length", "TC-PIB", "GAp")
 	for _, plen := range []int{1, 2, 3, 5, 8, 11} {
 		tcName := fmt.Sprintf("TC-p%d", plen)
 		gapName := fmt.Sprintf("GAp-p%d", plen)
-		_, means := meanOver(suite, func() []predictor.IndirectPredictor {
+		_, means := meanOver(e, func() []predictor.IndirectPredictor {
 			return []predictor.IndirectPredictor{
 				twolevel.NewTargetCache(twolevel.TargetCacheConfig{
 					Name: tcName, Entries: 2048,
@@ -85,12 +80,12 @@ func printPathLengthSweep(suite []workload.Config) {
 		})
 		t.AddRowf(plen, 100*means[tcName], 100*means[gapName])
 	}
-	t.Render(os.Stdout)
-	fmt.Println()
+	t.Render(e.out)
+	fmt.Fprintln(e.out)
 }
 
 // printBIUSweep bounds the BIU, the structure the paper assumed infinite.
-func printBIUSweep(suite []workload.Config) {
+func printBIUSweep(e *env) {
 	t := report.NewTable("Extension: finite-BIU sensitivity (PPM-hyb mean mispred %)",
 		"BIU entries", "mean mispred %")
 	for _, limit := range []int{16, 64, 256, 1024, 0} {
@@ -101,19 +96,19 @@ func printBIUSweep(suite []workload.Config) {
 			label = "unbounded"
 		}
 		cfg.Name = "PPM-hyb-biu" + label
-		_, means := meanOver(suite, func() []predictor.IndirectPredictor {
+		_, means := meanOver(e, func() []predictor.IndirectPredictor {
 			return []predictor.IndirectPredictor{core.New(cfg)}
 		})
 		t.AddRowf(label, 100*means[cfg.Name])
 	}
-	t.Render(os.Stdout)
-	fmt.Println()
+	t.Render(e.out)
+	fmt.Fprintln(e.out)
 }
 
 // printVariants compares the future-work PPM designs of Section 6 against
 // the baseline: tagged Markov tables, per-component confidence, the
 // alternative low-order bit select, and the leaky-filtered PPM.
-func printVariants(suite []workload.Config) {
+func printVariants(e *env) {
 	build := func() []predictor.IndirectPredictor {
 		tagged := core.DefaultConfig(core.Hybrid)
 		tagged.Tagged = true
@@ -132,12 +127,12 @@ func printVariants(suite []workload.Config) {
 			core.PaperFiltered(),
 		}
 	}
-	names, means := meanOver(suite, build)
+	names, means := meanOver(e, build)
 	t := report.NewTable("Extension: PPM design variants (Section 6 future work)",
 		"variant", "mean mispred %")
 	for _, n := range names {
 		t.AddRowf(n, 100*means[n])
 	}
-	t.Render(os.Stdout)
-	fmt.Println()
+	t.Render(e.out)
+	fmt.Fprintln(e.out)
 }

@@ -2,7 +2,6 @@ package main
 
 import (
 	"fmt"
-	"os"
 
 	"repro/internal/bench"
 	"repro/internal/cascade"
@@ -12,10 +11,7 @@ import (
 	"repro/internal/pipeline"
 	"repro/internal/predictor"
 	"repro/internal/report"
-	"repro/internal/sim"
-	"repro/internal/trace"
 	"repro/internal/twolevel"
-	"repro/internal/workload"
 )
 
 // printIPC converts the Figure 6 accuracy comparison into the front-end
@@ -23,44 +19,45 @@ import (
 // with a 10-cycle misprediction penalty, counting only indirect-branch
 // mispredictions (conditional prediction assumed perfect to isolate the
 // effect under study).
-func printIPC(suite []workload.Config) {
+func printIPC(e *env) {
 	cfg := pipeline.Default4Wide
 	names := []string{"BTB", "TC-PIB", "Cascade", "PPM-hyb"}
 	t := report.NewTable(
 		fmt.Sprintf("Motivation: IPC impact of indirect misprediction (%d-wide, %d-cycle refill)",
 			cfg.Width, cfg.MispredictPenalty),
 		append([]string{"run", "perfect-IPC"}, append(names, "PPM speedup vs BTB")...)...)
-	for _, wl := range suite {
-		recs := make([]trace.Record, 0, wl.Events*4)
-		sum := wl.Generate(func(r trace.Record) { recs = append(recs, r) })
+	results := e.simulate(func() []predictor.IndirectPredictor {
 		preds := make([]predictor.IndirectPredictor, len(names))
 		for i, n := range names {
 			preds[i], _ = bench.NewPredictor(n)
 		}
-		counters := sim.Run(recs, preds...)
-		row := []string{wl.String(), fmt.Sprintf("%.2f", cfg.Estimate(sum.Instructions, 0).IPC)}
+		return preds
+	})
+	for _, res := range results {
+		sum := res.Summary
+		row := []string{res.Config.String(), fmt.Sprintf("%.2f", cfg.Estimate(sum.Instructions, 0).IPC)}
 		var btbRes, ppmRes pipeline.Result
-		for i, c := range counters {
-			res := cfg.Estimate(sum.Instructions, c.Mispredictions())
-			row = append(row, fmt.Sprintf("%.2f", res.IPC))
+		for i, c := range res.Counters {
+			ipc := cfg.Estimate(sum.Instructions, c.Mispredictions())
+			row = append(row, fmt.Sprintf("%.2f", ipc.IPC))
 			switch names[i] {
 			case "BTB":
-				btbRes = res
+				btbRes = ipc
 			case "PPM-hyb":
-				ppmRes = res
+				ppmRes = ipc
 			}
 		}
 		row = append(row, fmt.Sprintf("%.2fx", pipeline.Speedup(btbRes, ppmRes)))
 		t.AddRow(row...)
 	}
-	t.Render(os.Stdout)
-	fmt.Println()
+	t.Render(e.out)
+	fmt.Fprintln(e.out)
 }
 
 // printTagged runs the tagged-versions study the paper lists as future
 // work ("we need to consider tagged versions of all the predictors"),
 // comparing each tagless design with its tagged counterpart.
-func printTagged(suite []workload.Config) {
+func printTagged(e *env) {
 	build := func() []predictor.IndirectPredictor {
 		taggedTC := twolevel.NewTargetCache(twolevel.TargetCacheConfig{
 			Name: "TC-tagged", Entries: 2048, HistoryBits: 11, BitsPerTarget: 2,
@@ -81,44 +78,44 @@ func printTagged(suite []workload.Config) {
 			tc, taggedTC, gap, taggedGAp, ppm, core.New(taggedPPMCfg),
 		}
 	}
-	names, means := meanOver(suite, build)
+	names, means := meanOver(e, build)
 	t := report.NewTable("Extension: tagless vs tagged predictor versions (mean mispred %)",
 		"predictor", "mean mispred %")
 	for _, n := range names {
 		t.AddRowf(n, 100*means[n])
 	}
-	t.Render(os.Stdout)
-	fmt.Println()
+	t.Render(e.out)
+	fmt.Fprintln(e.out)
 }
 
 // printCBT evaluates the Case Block Table of Related Work at several
 // value-availability levels against the PPM, quantifying the limitation
 // the paper cites (the switch value is often unknown at fetch).
-func printCBT(suite []workload.Config) {
+func printCBT(e *env) {
 	t := report.NewTable("Related work: Case Block Table vs value availability (mean mispred %)",
 		"predictor", "mean mispred %")
 	for _, avail := range []float64{1.0, 0.75, 0.5, 0.0} {
 		name := fmt.Sprintf("CBT(p=%.2f)", avail)
-		_, means := meanOver(suite, func() []predictor.IndirectPredictor {
+		_, means := meanOver(e, func() []predictor.IndirectPredictor {
 			return []predictor.IndirectPredictor{cbt.New(cbt.Config{
 				Entries: 2048, Availability: avail, Seed: 0xCB7,
 			})}
 		})
 		t.AddRowf(name, 100*means[name])
 	}
-	_, means := meanOver(suite, func() []predictor.IndirectPredictor {
+	_, means := meanOver(e, func() []predictor.IndirectPredictor {
 		p, _ := bench.NewPredictor("PPM-hyb")
 		return []predictor.IndirectPredictor{p}
 	})
 	t.AddRowf("PPM-hyb (reference)", 100*means["PPM-hyb"])
-	t.Render(os.Stdout)
-	fmt.Println("(the CBT only helps MT jmp switches; MT jsr calls have no switch value)")
-	fmt.Println()
+	t.Render(e.out)
+	fmt.Fprintln(e.out, "(the CBT only helps MT jmp switches; MT jsr calls have no switch value)")
+	fmt.Fprintln(e.out)
 }
 
 // printFilterPolicy compares the strict and leaky Cascade filter
 // disciplines of Driesen & Hölzle.
-func printFilterPolicy(suite []workload.Config) {
+func printFilterPolicy(e *env) {
 	build := func() []predictor.IndirectPredictor {
 		leaky := cascade.Paper()
 		strictCfg := cascade.Config{
@@ -143,12 +140,12 @@ func printFilterPolicy(suite []workload.Config) {
 		}
 		return []predictor.IndirectPredictor{leaky, cascade.New(strictCfg)}
 	}
-	names, means := meanOver(suite, build)
+	names, means := meanOver(e, build)
 	t := report.NewTable("Extension: Cascade filter policy (mean mispred %)",
 		"policy", "mean mispred %")
 	for _, n := range names {
 		t.AddRowf(n, 100*means[n])
 	}
-	t.Render(os.Stdout)
-	fmt.Println()
+	t.Render(e.out)
+	fmt.Fprintln(e.out)
 }

@@ -2,76 +2,86 @@ package main
 
 import (
 	"fmt"
-	"os"
 
 	"repro/internal/analysis"
 	"repro/internal/condbr"
 	"repro/internal/report"
 	"repro/internal/trace"
-	"repro/internal/workload"
 )
 
 // printProfile classifies each run's dynamic MT branch population in the
 // paper's monomorphic / low-entropy / polymorphic terms (Section 2,
 // footnotes 2-3) — the validation that the synthetic models carry the
 // population structure the paper attributes to each benchmark.
-func printProfile(suite []workload.Config) {
+func printProfile(e *env) {
+	pops := make([]analysis.Population, len(e.suite))
+	e.pool.Map(len(e.suite), func(i int) {
+		recs, _ := e.cache.Get(e.suite[i])
+		p := analysis.NewProfiler()
+		for _, r := range recs {
+			p.Observe(r)
+		}
+		pops[i] = p.Classify()
+	})
 	t := report.NewTable("Branch population classification (dynamic MT execution shares, %)",
 		"run", "monomorphic", "low-entropy", "polymorphic", "mean entropy (bits)")
-	for _, cfg := range suite {
-		p := analysis.NewProfiler()
-		cfg.Generate(p.Observe)
-		pop := p.Classify()
+	for i, cfg := range e.suite {
+		pop := pops[i]
 		t.AddRowf(cfg.String(),
 			100*pop.MonomorphicShare, 100*pop.LowEntropyShare, 100*pop.PolymorphicShare,
 			pop.MeanEntropy)
 	}
-	t.Render(os.Stdout)
-	fmt.Println()
+	t.Render(e.out)
+	fmt.Fprintln(e.out)
 }
 
 // printCond runs the Section 3 conditional-branch predictors over the
 // suite's conditional stream: the PPM-for-directions algorithm the paper
 // uses to introduce the concept, against the classic bimodal and GAg.
-func printCond(suite []workload.Config) {
-	t := report.NewTable("Section 3 substrate: conditional branch direction predictors (mispred %)",
-		"run", "bimodal-2K", "GAg-12", "PPM-cond(8)")
+func printCond(e *env) {
 	type accT struct{ miss, total uint64 }
-	var sums [3]accT
-	for _, cfg := range suite {
+	accs := make([][3]accT, len(e.suite))
+	e.pool.Map(len(e.suite), func(i int) {
+		recs, _ := e.cache.Get(e.suite[i])
 		bi := condbr.NewBimodal(2048)
 		ga := condbr.NewGAg(12)
 		pp := condbr.NewPPM(8)
 		var acc [3]accT
-		cfg.Generate(func(r trace.Record) {
+		for _, r := range recs {
 			if r.Class != trace.CondDirect {
-				return
+				continue
 			}
 			preds := [3]bool{bi.Predict(r.PC), ga.Predict(), pp.Predict()}
-			for i, p := range preds {
-				acc[i].total++
+			for j, p := range preds {
+				acc[j].total++
 				if p != r.Taken {
-					acc[i].miss++
+					acc[j].miss++
 				}
 			}
 			bi.Update(r.PC, r.Taken)
 			ga.Update(r.Taken)
 			pp.Update(r.Taken)
-		})
+		}
+		accs[i] = acc
+	})
+	t := report.NewTable("Section 3 substrate: conditional branch direction predictors (mispred %)",
+		"run", "bimodal-2K", "GAg-12", "PPM-cond(8)")
+	var sums [3]accT
+	for i, cfg := range e.suite {
 		row := []string{cfg.String()}
-		for i := range acc {
-			row = append(row, report.Pct(float64(acc[i].miss)/float64(acc[i].total)))
-			sums[i].miss += acc[i].miss
-			sums[i].total += acc[i].total
+		for j := range accs[i] {
+			row = append(row, report.Pct(float64(accs[i][j].miss)/float64(accs[i][j].total)))
+			sums[j].miss += accs[i][j].miss
+			sums[j].total += accs[i][j].total
 		}
 		t.AddRow(row...)
 	}
 	row := []string{"TOTAL"}
-	for i := range sums {
-		row = append(row, report.Pct(float64(sums[i].miss)/float64(sums[i].total)))
+	for j := range sums {
+		row = append(row, report.Pct(float64(sums[j].miss)/float64(sums[j].total)))
 	}
 	t.AddRow(row...)
-	t.Render(os.Stdout)
-	fmt.Println("(runs with CondNoise 1 are data-random: every predictor converges to the taken bias)")
-	fmt.Println()
+	t.Render(e.out)
+	fmt.Fprintln(e.out, "(runs with CondNoise 1 are data-random: every predictor converges to the taken bias)")
+	fmt.Fprintln(e.out)
 }

@@ -2,13 +2,11 @@ package main
 
 import (
 	"fmt"
-	"os"
 
 	"repro/internal/bench"
 	"repro/internal/core"
 	"repro/internal/predictor"
 	"repro/internal/report"
-	"repro/internal/workload"
 )
 
 // printBudget tabulates every Figure 6/7 design's storage in entries and
@@ -16,7 +14,7 @@ import (
 // making the paper's "approximately the same hardware budget" comparison
 // explicit — including the tag overhead that motivates its focus on
 // tagless designs.
-func printBudget() {
+func printBudget(e *env) {
 	t := report.NewTable("Hardware budget accounting (uniform convention, BIU excluded)",
 		"predictor", "entries", "bits", "KiB")
 	for _, name := range bench.PredictorNames() {
@@ -28,8 +26,8 @@ func printBudget() {
 		}
 		t.AddRowf(name, s.Entries(), c.Bits(), fmt.Sprintf("%.1f", float64(c.Bits())/8192))
 	}
-	t.Render(os.Stdout)
-	fmt.Println()
+	t.Render(e.out)
+	fmt.Fprintln(e.out)
 }
 
 // printMulti measures the design alternative Section 4 rejects: Markov
@@ -37,7 +35,7 @@ func printBudget() {
 // the paper's single most-recent-target entries — at equal state counts
 // (so the multi-target variants cost K times the storage) and at an
 // entry-count-normalized point (fewer states, same total slots).
-func printMulti(suite []workload.Config) {
+func printMulti(e *env) {
 	build := func() []predictor.IndirectPredictor {
 		base := core.PaperPIB()
 		m2 := core.NewMultiTarget(10, 2)
@@ -50,7 +48,7 @@ func printMulti(suite []workload.Config) {
 		m4n.SetName("PPM-multi-k4-o8")
 		return []predictor.IndirectPredictor{base, m2, m4, m4n}
 	}
-	names, means := meanOver(suite, build)
+	names, means := meanOver(e, build)
 	t := report.NewTable("Section 4 alternative: frequency-counted multi-target Markov states",
 		"variant", "slots", "mean mispred %")
 	slots := map[string]int{
@@ -59,8 +57,8 @@ func printMulti(suite []workload.Config) {
 	for _, n := range names {
 		t.AddRowf(n, slots[n], 100*means[n])
 	}
-	t.Render(os.Stdout)
-	fmt.Println("(the paper stores only the most recent target per state; the k-slot")
-	fmt.Println(" majority-vote organisation is the 'original Markov model' it rejects)")
-	fmt.Println()
+	t.Render(e.out)
+	fmt.Fprintln(e.out, "(the paper stores only the most recent target per state; the k-slot")
+	fmt.Fprintln(e.out, " majority-vote organisation is the 'original Markov model' it rejects)")
+	fmt.Fprintln(e.out)
 }

@@ -13,12 +13,21 @@
 // -events scales the per-run dispatch count; -run restricts to runs whose
 // name contains the given substring. Output always follows the registry's
 // canonical order regardless of how experiments were selected.
+//
+// The grid is evaluated by a deterministic parallel runner: -j sets the
+// worker count (default GOMAXPROCS; -j 1 is the exact serial path), every
+// (run × predictor-set) cell simulates on a private engine, and each suite
+// trace is generated at most once per process through the shared trace
+// cache (-cachemb bounds its memory, -tracecache=false disables it).
+// Output is byte-identical at every -j.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"runtime"
 	"strings"
 
 	"repro/internal/bench"
@@ -27,29 +36,50 @@ import (
 	"repro/internal/oracle"
 	"repro/internal/predictor"
 	"repro/internal/report"
-	"repro/internal/sim"
+	"repro/internal/sched"
 	"repro/internal/stats"
-	"repro/internal/trace"
+	"repro/internal/tracecache"
 	"repro/internal/workload"
 )
 
+// env is the execution context an experiment runs in: where to render, the
+// suite to evaluate, the shared trace cache, and the worker pool. Tests
+// build their own env around a buffer to compare outputs across -j values.
+type env struct {
+	out   io.Writer
+	suite []workload.Config
+	cache *tracecache.Cache
+	pool  *sched.Pool
+}
+
+// simulate runs every suite config through a fresh instance of the
+// predictor set, sharding cells across the pool; results arrive in suite
+// order.
+func (e *env) simulate(build func() []predictor.IndirectPredictor) []sched.Result {
+	return e.pool.Simulate(e.cache, e.suite, build)
+}
+
 func main() {
 	var (
-		list      = flag.Bool("list", false, "list every registered experiment and exit")
-		all       = flag.Bool("all", false, "run every paper experiment")
-		ext       = flag.Bool("ext", false, "run every extension experiment")
-		events    = flag.Int("events", bench.DefaultEvents, "MT dispatch events per run")
-		runFilter = flag.String("run", "", "restrict to runs whose name contains this substring")
+		list       = flag.Bool("list", false, "list every registered experiment and exit")
+		all        = flag.Bool("all", false, "run every paper experiment")
+		ext        = flag.Bool("ext", false, "run every extension experiment")
+		events     = flag.Int("events", bench.DefaultEvents, "MT dispatch events per run")
+		runFilter  = flag.String("run", "", "restrict to runs whose name contains this substring")
+		jobs       = flag.Int("j", runtime.GOMAXPROCS(0), "simulation workers (1 = exact serial path)")
+		cacheMB    = flag.Int("cachemb", 512, "trace cache budget in MiB (0 = unlimited)")
+		useCache   = flag.Bool("tracecache", true, "cache generated traces; false regenerates per analysis (the pre-cache baseline)")
+		cacheStats = flag.Bool("cachestats", false, "print trace cache statistics to stderr after the run")
 	)
 	selected := make(map[string]*bool, len(experiments))
-	for _, e := range experiments {
-		selected[e.name] = flag.Bool(e.name, false, e.group+": "+e.doc)
+	for _, ex := range experiments {
+		selected[ex.name] = flag.Bool(ex.name, false, ex.group+": "+ex.doc)
 	}
 	flag.Parse()
 
 	if *list {
-		for _, e := range experiments {
-			fmt.Printf("  %-14s %-10s %s\n", e.name, e.group, e.doc)
+		for _, ex := range experiments {
+			fmt.Printf("  %-14s %-10s %s\n", ex.name, ex.group, ex.doc)
 		}
 		return
 	}
@@ -63,25 +93,37 @@ func main() {
 		*sel = true
 	}
 	any := false
-	for _, e := range experiments {
-		if *all && e.group == "paper" {
-			*selected[e.name] = true
+	for _, ex := range experiments {
+		if *all && ex.group == "paper" {
+			*selected[ex.name] = true
 		}
-		if *ext && e.group == "extension" {
-			*selected[e.name] = true
+		if *ext && ex.group == "extension" {
+			*selected[ex.name] = true
 		}
-		any = any || *selected[e.name]
+		any = any || *selected[ex.name]
 	}
 	if !any {
 		flag.Usage()
 		os.Exit(2)
 	}
 
-	suite := filterRuns(bench.Sized(*events), *runFilter)
-	for _, e := range experiments {
-		if *selected[e.name] {
-			e.run(suite)
+	cache := tracecache.New(int64(*cacheMB) << 20)
+	if !*useCache {
+		cache = tracecache.Disabled()
+	}
+	e := &env{
+		out:   os.Stdout,
+		suite: filterRuns(bench.Sized(*events), *runFilter),
+		cache: cache,
+		pool:  sched.New(*jobs),
+	}
+	for _, ex := range experiments {
+		if *selected[ex.name] {
+			ex.run(e)
 		}
+	}
+	if *cacheStats {
+		fmt.Fprintln(os.Stderr, "tracecache:", cache.Stats())
 	}
 }
 
@@ -98,26 +140,26 @@ func filterRuns(runs []workload.Config, substr string) []workload.Config {
 	return out
 }
 
-func printTable1(suite []workload.Config) {
+func printTable1(e *env) {
+	// One parallel pass generates (or recalls) every run; rendering then
+	// reads the captured summaries in suite order.
+	sums := make([]workload.Summary, len(e.suite))
+	e.pool.Map(len(e.suite), func(i int) {
+		_, sums[i] = e.cache.Get(e.suite[i])
+	})
 	t := report.NewTable("Table 1: dynamic benchmark characteristics",
 		"benchmark", "input", "instr (M)", "MT jsr+jmp", "static MT", "cond", "returns")
-	for _, cfg := range suite {
-		var sum workload.Summary
-		sum = discard(cfg)
+	for _, sum := range sums {
 		t.AddRowf(sum.Name, sum.Input,
 			fmt.Sprintf("%.1f", float64(sum.Instructions)/1e6),
 			sum.MTDynamic, sum.MTStatic, sum.CondDynamic, sum.RetsDynamic)
 	}
-	t.Render(os.Stdout)
-	fmt.Println()
+	t.Render(e.out)
+	fmt.Fprintln(e.out)
 }
 
-func discard(cfg workload.Config) workload.Summary {
-	return cfg.Generate(func(trace.Record) {})
-}
-
-func printFigure1() {
-	fmt.Println("Figure 1: 3rd-order Markov predictor over input 01010110101")
+func printFigure1(e *env) {
+	fmt.Fprintln(e.out, "Figure 1: 3rd-order Markov predictor over input 01010110101")
 	p := condbr.NewPPM(3)
 	seq := "01010110101"
 	for _, ch := range seq {
@@ -126,16 +168,16 @@ func printFigure1() {
 	}
 	m := p.Model(3)
 	z, o := m.Counts(0b101) // history bits: most recent in bit 0 -> pattern 101
-	fmt.Printf("  state 101: next-bit counts 0:%d 1:%d\n", z, o)
+	fmt.Fprintf(e.out, "  state 101: next-bit counts 0:%d 1:%d\n", z, o)
 	pred := p.Predict()
 	bit := "0"
 	if pred {
 		bit = "1"
 	}
-	fmt.Printf("  PPM prediction after sequence: %s (paper: 0)\n\n", bit)
+	fmt.Fprintf(e.out, "  PPM prediction after sequence: %s (paper: 0)\n\n", bit)
 }
 
-func printMatrix(title string, suite []workload.Config, preds func() []predictor.IndirectPredictor) {
+func printMatrix(e *env, title string, preds func() []predictor.IndirectPredictor) {
 	names := func() []string {
 		var n []string
 		for _, p := range preds() {
@@ -145,11 +187,9 @@ func printMatrix(title string, suite []workload.Config, preds func() []predictor
 	}()
 	t := report.NewTable(title, append([]string{"run"}, names...)...)
 	perPred := make(map[string][]stats.Counters)
-	for _, cfg := range suite {
-		recs, _ := cfg.Records()
-		counters := sim.Run(recs, preds()...)
-		row := []string{cfg.String()}
-		for _, c := range counters {
+	for _, res := range e.simulate(preds) {
+		row := []string{res.Config.String()}
+		for _, c := range res.Counters {
 			row = append(row, report.Pct(c.MispredictionRatio()))
 			perPred[c.Predictor] = append(perPred[c.Predictor], c)
 		}
@@ -160,16 +200,17 @@ func printMatrix(title string, suite []workload.Config, preds func() []predictor
 		avg = append(avg, report.Pct(stats.MeanRatio(perPred[n])))
 	}
 	t.AddRow(avg...)
-	t.Render(os.Stdout)
-	fmt.Println()
+	t.Render(e.out)
+	fmt.Fprintln(e.out)
 }
 
-func printComponents(suite []workload.Config) {
-	fmt.Println("Markov component access distribution (PPM-hyb)")
-	for _, cfg := range suite {
-		recs, _ := cfg.Records()
-		p := core.PaperHyb()
-		sim.Run(recs, p)
+func printComponents(e *env) {
+	fmt.Fprintln(e.out, "Markov component access distribution (PPM-hyb)")
+	results := e.simulate(func() []predictor.IndirectPredictor {
+		return []predictor.IndirectPredictor{core.PaperHyb()}
+	})
+	for _, res := range results {
+		p := res.Preds[0].(*core.PPM)
 		st := p.Stats()
 		var total, topAcc, topMiss, totalMiss uint64
 		for i, a := range st.Accesses {
@@ -185,20 +226,21 @@ func printComponents(suite []workload.Config) {
 		if totalMiss > 0 {
 			missShare = 100 * float64(topMiss) / float64(totalMiss)
 		}
-		fmt.Printf("  %-12s highest-order accesses: %5.1f%%  misses: %5.1f%%\n",
-			cfg.String(), 100*float64(topAcc)/float64(total), missShare)
+		fmt.Fprintf(e.out, "  %-12s highest-order accesses: %5.1f%%  misses: %5.1f%%\n",
+			res.Config.String(), 100*float64(topAcc)/float64(total), missShare)
 	}
-	fmt.Println()
+	fmt.Fprintln(e.out)
 }
 
-func printOracle(suite []workload.Config) {
-	fmt.Println("Oracle with complete PIB path history, path length 8")
-	for _, cfg := range suite {
-		recs, _ := cfg.Records()
-		o := oracle.New(8)
-		counters := sim.Run(recs, o)
-		fmt.Printf("  %-12s accuracy: %.2f%% (contexts: %d)\n",
-			cfg.String(), 100*counters[0].Accuracy(), o.Contexts())
+func printOracle(e *env) {
+	fmt.Fprintln(e.out, "Oracle with complete PIB path history, path length 8")
+	results := e.simulate(func() []predictor.IndirectPredictor {
+		return []predictor.IndirectPredictor{oracle.New(8)}
+	})
+	for _, res := range results {
+		o := res.Preds[0].(*oracle.Oracle)
+		fmt.Fprintf(e.out, "  %-12s accuracy: %.2f%% (contexts: %d)\n",
+			res.Config.String(), 100*res.Counters[0].Accuracy(), o.Contexts())
 	}
-	fmt.Println()
+	fmt.Fprintln(e.out)
 }

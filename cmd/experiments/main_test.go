@@ -1,0 +1,115 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/sched"
+	"repro/internal/tracecache"
+)
+
+// renderExperiments runs the named registry entries into w under the given
+// worker count and trace cache, at the given per-run event count.
+func renderExperiments(w io.Writer, names []string, workers int, cache *tracecache.Cache, events int) {
+	e := &env{
+		out:   w,
+		suite: bench.Sized(events),
+		cache: cache,
+		pool:  sched.New(workers),
+	}
+	for _, n := range names {
+		for _, ex := range experiments {
+			if ex.name == n {
+				ex.run(e)
+			}
+		}
+	}
+}
+
+// TestParallelDeterminism is the scheduler's core guarantee: output is
+// byte-identical at every worker count, and every suite trace is generated
+// exactly once per process regardless of how many analyses consume it.
+func TestParallelDeterminism(t *testing.T) {
+	const events = 3000
+	names := []string{"fig6", "oracle"}
+	suiteLen := uint64(len(bench.Sized(events)))
+
+	var serial bytes.Buffer
+	renderExperiments(&serial, names, 1, tracecache.New(0), events)
+	if serial.Len() == 0 {
+		t.Fatal("serial run produced no output")
+	}
+
+	for _, workers := range []int{2, 8} {
+		cache := tracecache.New(0)
+		var par bytes.Buffer
+		renderExperiments(&par, names, workers, cache, events)
+		if !bytes.Equal(serial.Bytes(), par.Bytes()) {
+			t.Errorf("workers=%d: output differs from serial run\n--- serial ---\n%s\n--- workers=%d ---\n%s",
+				workers, serial.String(), workers, par.String())
+		}
+		st := cache.Stats()
+		if st.Generated != suiteLen {
+			t.Errorf("workers=%d: generated %d traces, want %d (each suite run exactly once)",
+				workers, st.Generated, suiteLen)
+		}
+		if st.Hits != suiteLen {
+			t.Errorf("workers=%d: cache hits = %d, want %d (second analysis recalls every run)",
+				workers, st.Hits, suiteLen)
+		}
+	}
+}
+
+// TestDisabledCacheMatchesSerial pins the -tracecache=false escape hatch to
+// the same output.
+func TestDisabledCacheMatchesSerial(t *testing.T) {
+	const events = 2000
+	names := []string{"fig6"}
+	var cached, uncached bytes.Buffer
+	renderExperiments(&cached, names, 1, tracecache.New(0), events)
+	renderExperiments(&uncached, names, 4, tracecache.Disabled(), events)
+	if !bytes.Equal(cached.Bytes(), uncached.Bytes()) {
+		t.Error("disabled-cache parallel output differs from cached serial output")
+	}
+}
+
+// allExperimentNames returns every registry entry in canonical order.
+func allExperimentNames() []string {
+	names := make([]string, 0, len(experiments))
+	for _, ex := range experiments {
+		names = append(names, ex.name)
+	}
+	return names
+}
+
+// BenchmarkExperiments measures the full -all -ext grid. The serial-nocache
+// sub-benchmark is the pre-cache baseline (one worker, every analysis
+// regenerates every trace); parallel-j4-cached is the shipped default on a
+// 4-core machine. cmd/benchjson -experiments runs these at -benchtime=1x
+// and derives the speedup recorded in BENCH_experiments.json. Cache traffic
+// is attached as custom metrics so the snapshot proves single generation.
+func BenchmarkExperiments(b *testing.B) {
+	const events = 20000
+	names := allExperimentNames()
+
+	b.Run("serial-nocache", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			renderExperiments(io.Discard, names, 1, tracecache.Disabled(), events)
+		}
+	})
+
+	b.Run("parallel-j4-cached", func(b *testing.B) {
+		var hits, generated uint64
+		for i := 0; i < b.N; i++ {
+			cache := tracecache.New(512 << 20)
+			renderExperiments(io.Discard, names, 4, cache, events)
+			st := cache.Stats()
+			hits += st.Hits
+			generated += st.Generated
+		}
+		b.ReportMetric(float64(hits)/float64(b.N), "cache-hits")
+		b.ReportMetric(float64(generated)/float64(b.N), "cache-gen")
+	})
+}

@@ -2,7 +2,6 @@ package main
 
 import (
 	"repro/internal/bench"
-	"repro/internal/workload"
 )
 
 // experiment is one reproducible analysis: a stable name, the group that
@@ -10,27 +9,29 @@ import (
 // registry is the single canonical entry point into every table and figure
 // this command can produce, so a new analysis is added by appending a row —
 // not by threading another flag through main — and the static analyzers see
-// one dispatch site.
+// one dispatch site. Runners receive the execution env (writer, suite,
+// trace cache, worker pool) and must render only after their parallel cells
+// have completed, in canonical suite order, so output is identical at every
+// -j.
 type experiment struct {
 	name  string
 	group string // "paper" (-all) or "extension" (-ext)
 	doc   string
-	run   func(suite []workload.Config)
+	run   func(e *env)
 }
 
 // experiments lists every analysis in canonical output order: the paper's
 // own tables and figures first, then the extensions.
 var experiments = []experiment{
 	{"table1", "paper", "Table 1: dynamic benchmark characteristics", printTable1},
-	{"fig1", "paper", "Figure 1 worked example (3rd-order conditional PPM)",
-		func([]workload.Config) { printFigure1() }},
+	{"fig1", "paper", "Figure 1 worked example (3rd-order conditional PPM)", printFigure1},
 	{"fig6", "paper", "Figure 6: 7 predictors x all runs, 2K entries",
-		func(suite []workload.Config) {
-			printMatrix("Figure 6: misprediction ratios (%), 2K-entry predictors", suite, bench.Figure6Predictors)
+		func(e *env) {
+			printMatrix(e, "Figure 6: misprediction ratios (%), 2K-entry predictors", bench.Figure6Predictors)
 		}},
 	{"fig7", "paper", "Figure 7: PPM variants",
-		func(suite []workload.Config) {
-			printMatrix("Figure 7: misprediction ratios (%), PPM variants", suite, bench.Figure7Predictors)
+		func(e *env) {
+			printMatrix(e, "Figure 7: misprediction ratios (%), PPM variants", bench.Figure7Predictors)
 		}},
 	{"components", "paper", "Section 5: Markov component access/miss distribution", printComponents},
 	{"oracle", "paper", "Section 5: oracle PIB-history analysis", printOracle},
@@ -45,7 +46,6 @@ var experiments = []experiment{
 	{"filterpolicy", "extension", "strict vs leaky Cascade filter", printFilterPolicy},
 	{"profile", "extension", "per-run branch population classification", printProfile},
 	{"cond", "extension", "Section 3 substrate: conditional direction predictors", printCond},
-	{"budget", "extension", "hardware budget accounting in entries and bits",
-		func([]workload.Config) { printBudget() }},
+	{"budget", "extension", "hardware budget accounting in entries and bits", printBudget},
 	{"multi", "extension", "Section 4 alternative: multi-target majority-vote Markov states", printMulti},
 }

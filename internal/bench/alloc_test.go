@@ -21,8 +21,7 @@ func allocTrace(t *testing.T) []trace.Record {
 		t.Fatal("gcc.cp missing from suite")
 	}
 	cfg.Events = 3000
-	recs := make([]trace.Record, 0, cfg.Events*4)
-	cfg.Generate(func(r trace.Record) { recs = append(recs, r) })
+	recs, _ := Traces(cfg)
 	return recs
 }
 

@@ -1,0 +1,20 @@
+package bench
+
+import (
+	"repro/internal/trace"
+	"repro/internal/tracecache"
+	"repro/internal/workload"
+)
+
+// sharedTraces is the process-wide cache behind Traces. Benchmarks and
+// tests across the module share it, so each suite run is synthesized at
+// most once per process no matter how many harnesses replay it. 1 GiB
+// comfortably holds the full suite at benchmark scale.
+var sharedTraces = tracecache.New(1 << 30)
+
+// Traces materializes cfg's record stream and summary through the module's
+// shared trace cache. The returned slice is shared across callers and must
+// be treated as immutable; harnesses that mutate records must copy first.
+func Traces(cfg workload.Config) ([]trace.Record, workload.Summary) {
+	return sharedTraces.Get(cfg)
+}

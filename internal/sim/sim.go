@@ -18,7 +18,11 @@ import (
 
 // Engine drives one record stream through any number of predictors.
 type Engine struct {
-	preds    []predictor.IndirectPredictor
+	preds []predictor.IndirectPredictor
+	// va is the ValueAware lane: va[i] is non-nil iff preds[i] consumes
+	// the switch variable value. Precomputed at construction so Process
+	// does not pay a type assertion per predictor per MT record.
+	va       []ValueAware
 	counters []stats.Counters
 	ras      *ras.Stack
 	records  uint64
@@ -30,11 +34,15 @@ type Engine struct {
 func New(preds ...predictor.IndirectPredictor) *Engine {
 	e := &Engine{
 		preds:    preds,
+		va:       make([]ValueAware, len(preds)),
 		counters: make([]stats.Counters, len(preds)),
 		ras:      ras.New(64),
 	}
 	for i, p := range preds {
 		e.counters[i].Predictor = p.Name()
+		if v, ok := p.(ValueAware); ok {
+			e.va[i] = v
+		}
 	}
 	return e
 }
@@ -54,7 +62,7 @@ func (e *Engine) Process(r trace.Record) {
 	e.instrs += uint64(r.Gap) + 1
 	if r.MTIndirect() {
 		for i, p := range e.preds {
-			if va, ok := p.(ValueAware); ok {
+			if va := e.va[i]; va != nil {
 				va.SetValue(r.Value)
 			}
 			target, ok := p.Predict(r.PC)

@@ -131,3 +131,36 @@ func TestRunConvenience(t *testing.T) {
 		t.Errorf("Run counters: %+v", counters[0])
 	}
 }
+
+// valueSpy records the values the engine forwards through the ValueAware
+// lane, proving New hoists the capability check out of the record loop
+// without losing the value forward.
+type valueSpy struct {
+	values []uint32
+}
+
+func (v *valueSpy) Name() string                  { return "spy" }
+func (v *valueSpy) Predict(uint64) (uint64, bool) { return 0, false }
+func (v *valueSpy) Update(uint64, uint64)         {}
+func (v *valueSpy) Observe(trace.Record)          {}
+func (v *valueSpy) SetValue(val uint32)           { v.values = append(v.values, val) }
+
+var _ ValueAware = (*valueSpy)(nil)
+
+func TestValueAwareLane(t *testing.T) {
+	spy := &valueSpy{}
+	plain := btb.New(64)
+	e := New(plain, spy)
+	rec := mtJmp(0x50, 0x3000, 0)
+	rec.Value = 7
+	e.Process(rec)
+	e.Process(trace.Record{PC: 0x60, Target: 0x64, Class: trace.CondDirect, Taken: true})
+	rec.Value = 9
+	e.Process(rec)
+	if len(spy.values) != 2 || spy.values[0] != 7 || spy.values[1] != 9 {
+		t.Errorf("ValueAware saw %v, want [7 9] (MT records only)", spy.values)
+	}
+	if e.Counters()[0].Lookups != 2 || e.Counters()[1].Lookups != 2 {
+		t.Errorf("lanes disturbed the counter protocol: %+v", e.Counters())
+	}
+}

@@ -110,6 +110,7 @@ type Reader struct {
 	r      *bufio.Reader
 	prevPC uint64
 	count  uint64
+	hint   int
 }
 
 // NewReader validates the header and returns a Reader positioned at the
@@ -180,10 +181,25 @@ func truncated(err error) error {
 	return err
 }
 
-// ReadAll drains the reader into a slice. Intended for tests and moderate
-// trace sizes; large traces should be streamed with Read.
+// SetSizeHint tells the reader how many records remain in the stream, when
+// the caller knows (a Writer.Count from the producing side, a record count
+// carried out of band). ReadAll preallocates its result to the hint, so an
+// accurate hint makes draining the trace reallocation-free.
+func (r *Reader) SetSizeHint(n int) {
+	if n > 0 {
+		r.hint = n
+	}
+}
+
+// ReadAll drains the reader into a slice, preallocated from the size hint
+// when one was set. Intended for tests and moderate trace sizes; large
+// traces should be streamed with Read.
 func (r *Reader) ReadAll() ([]Record, error) {
-	var recs []Record
+	capacity := r.hint
+	if capacity <= 0 {
+		capacity = 1024
+	}
+	recs := make([]Record, 0, capacity)
 	for {
 		rec, err := r.Read()
 		if err == io.EOF {

@@ -268,3 +268,52 @@ func BenchmarkReader(b *testing.B) {
 		}
 	}
 }
+
+// TestReadAllSizeHintAvoidsReallocation round-trips a trace whose record
+// count is known from the writer side: with the hint set, ReadAll's single
+// preallocation must survive the whole drain (cap unchanged ⇒ no growth).
+func TestReadAllSizeHintAvoidsReallocation(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 5000
+	for i := 0; i < n; i++ {
+		rec := Record{PC: 0x1000 + uint64(i)*4, Target: 0x9000 + uint64(i%7)*16,
+			Class: IndirectJsr, Taken: true, MT: i%3 == 0, Gap: uint32(i % 5)}
+		if err := w.Write(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := NewReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.SetSizeHint(int(w.Count()))
+	got, err := r.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != n {
+		t.Fatalf("read %d records, want %d", len(got), n)
+	}
+	if cap(got) != n {
+		t.Errorf("cap %d after drain, hint %d — ReadAll reallocated", cap(got), n)
+	}
+
+	// Hints are advisory: a short hint still reads everything.
+	r2, err := NewReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2.SetSizeHint(10)
+	short, err := r2.ReadAll()
+	if err != nil || len(short) != n {
+		t.Fatalf("short-hint drain: %d records, err %v", len(short), err)
+	}
+}

@@ -456,10 +456,40 @@ func (c Config) Generate(emit func(trace.Record)) Summary {
 	return sum
 }
 
-// Records generates the run into memory. Convenient for tests and the
+// ExpectedRecords returns a deterministic upper bound on the number of
+// records Generate emits, from the per-event worst case: the dispatch
+// itself, its return when any site is an indirect call, the conditional
+// burst (CondPerEvent plus the one-branch jitter), and the call/return and
+// single-target pairs when their rates are enabled. Records preallocates
+// this capacity so a run materializes without a single slice reallocation.
+func (c Config) ExpectedRecords() int {
+	if c.Events <= 0 {
+		return 0
+	}
+	per := 1 // the MT/ST dispatch event
+	if c.CondPerEvent > 0 {
+		per += c.CondPerEvent + 1
+	}
+	if c.CallRate > 0 {
+		per += 2
+	}
+	if c.STRate > 0 {
+		per += 2
+	}
+	for _, s := range c.Sites {
+		if s.Class == trace.IndirectJsr {
+			per++ // indirect calls return to the call site
+			break
+		}
+	}
+	return c.Events * per
+}
+
+// Records generates the run into memory, preallocated to ExpectedRecords so
+// the append loop never reallocates. Convenient for tests and the
 // experiment harness; very long runs should stream via Generate.
 func (c Config) Records() ([]trace.Record, Summary) {
-	recs := make([]trace.Record, 0, c.Events*4)
+	recs := make([]trace.Record, 0, c.ExpectedRecords())
 	sum := c.Generate(func(r trace.Record) { recs = append(recs, r) })
 	return recs, sum
 }

@@ -347,3 +347,40 @@ func TestConfigString(t *testing.T) {
 		t.Error("Config.String without input")
 	}
 }
+
+// TestRecordsNeverReallocates pins the ExpectedRecords contract: the
+// worst-case preallocation in Records must hold every emitted record, so
+// the append loop never grows the backing array (growth would change cap).
+func TestRecordsNeverReallocates(t *testing.T) {
+	cfgs := []Config{
+		{Name: "plain", Seed: 1, Events: 3000,
+			Sites: []SiteSpec{{Label: "s", Class: trace.IndirectJmp, NumTargets: 4, Behavior: Uniform{}, Weight: 1}}},
+		{Name: "jsr", Seed: 2, Events: 3000, CondPerEvent: 3, STRate: 0.05, CallRate: 0.3,
+			Sites: []SiteSpec{
+				{Label: "v", Class: trace.IndirectJsr, NumTargets: 4, Behavior: Uniform{}, Weight: 2},
+				{Label: "j", Class: trace.IndirectJmp, NumTargets: 8, Behavior: Cyclic{}, Weight: 1},
+			}},
+		{Name: "chained", Seed: 3, Events: 3000, CondPerEvent: 1, CallRate: 1,
+			ChainSites: true, ChainNoise: 0.01,
+			Sites: []SiteSpec{{Label: "c", Class: trace.IndirectJsr, NumTargets: 3, Behavior: Monomorphic{Bias: 0.9}, Weight: 1}}},
+	}
+	for _, cfg := range cfgs {
+		want := cfg.ExpectedRecords()
+		recs, sum := cfg.Records()
+		if cap(recs) != want {
+			t.Errorf("%s: cap %d after generation, preallocated %d — append reallocated", cfg.Name, cap(recs), want)
+		}
+		if len(recs) > want {
+			t.Errorf("%s: emitted %d records, bound %d too small", cfg.Name, len(recs), want)
+		}
+		if uint64(len(recs)) != sum.Records {
+			t.Errorf("%s: %d records vs summary %d", cfg.Name, len(recs), sum.Records)
+		}
+	}
+}
+
+func TestExpectedRecordsZeroForEmptyConfig(t *testing.T) {
+	if n := (Config{}).ExpectedRecords(); n != 0 {
+		t.Errorf("empty config expects %d records, want 0", n)
+	}
+}
