@@ -4,7 +4,7 @@
 GO      ?= go
 FUZZTIME ?= 30s
 
-.PHONY: all build test race lint fmt vet ppmlint escapes-check escapes-update bench bench-experiments parallel-smoke fuzz-smoke ci
+.PHONY: all build test race lint fmt vet ppmlint escapes-check escapes-update bench bench-experiments parallel-smoke serve-smoke fuzz-smoke ci
 
 all: build
 
@@ -58,6 +58,14 @@ parallel-smoke:
 	$(GO) test -race ./internal/tracecache ./internal/sched
 	$(GO) run -race ./cmd/experiments -all -events 2000 -j 4 -cachestats > /dev/null
 
+# End-to-end gate for the serving subsystem: boots a real ppmserved on an
+# ephemeral port, runs a fig6 job through ppmctl, diffs the rendered matrix
+# byte-for-byte against scripts/testdata/serve-smoke-fig6.golden (which is
+# the serial `experiments -fig6 -events 2000` output), and SIGTERMs the
+# daemon with a job in flight to prove the drain completes cleanly.
+serve-smoke:
+	sh scripts/serve-smoke.sh
+
 lint: fmt vet ppmlint
 
 # A short fuzz of the trace reader keeps the parser honest against corpus
@@ -65,4 +73,4 @@ lint: fmt vet ppmlint
 fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzReader -fuzztime=$(FUZZTIME) ./internal/trace
 
-ci: build lint escapes-check race parallel-smoke fuzz-smoke
+ci: build lint escapes-check race parallel-smoke serve-smoke fuzz-smoke

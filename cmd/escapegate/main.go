@@ -36,8 +36,9 @@ import (
 const defaultBaseline = "internal/lint/escapes.baseline"
 
 // hotPackages are the packages containing hot-path code (predictors, their
-// tables, and the per-record engine); construction-only and reporting
-// packages are not gated.
+// tables, the per-record engine, and the serving loop that streams uploaded
+// traces through it); construction-only and reporting packages are not
+// gated.
 var hotPackages = []string{
 	"./internal/btb",
 	"./internal/cascade",
@@ -48,6 +49,7 @@ var hotPackages = []string{
 	"./internal/history",
 	"./internal/predictor",
 	"./internal/ras",
+	"./internal/serve",
 	"./internal/sim",
 	"./internal/stats",
 	"./internal/twolevel",

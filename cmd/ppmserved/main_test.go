@@ -1,0 +1,111 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestRunServesAndDrainsOnSIGTERM boots the daemon on an ephemeral port,
+// submits a job, delivers a real SIGTERM and expects a clean drain: exit 0,
+// the drain messages on stderr, and the job's results intact until the
+// process winds down.
+func TestRunServesAndDrainsOnSIGTERM(t *testing.T) {
+	var stderr bytes.Buffer
+	ready := make(chan net.Addr, 1)
+	exit := make(chan int, 1)
+	go func() {
+		exit <- run([]string{"-addr", "127.0.0.1:0", "-drain-timeout", "10s"}, &stderr, ready)
+	}()
+	var addr net.Addr
+	select {
+	case addr = <-ready:
+	case <-time.After(10 * time.Second):
+		t.Fatal("server did not start")
+	}
+	base := "http://" + addr.String()
+
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz = %d", resp.StatusCode)
+	}
+
+	// The expvar surface carries the published serve stats.
+	vresp, err := http.Get(base + "/debug/vars")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var vars map[string]json.RawMessage
+	if err := json.NewDecoder(vresp.Body).Decode(&vars); err != nil {
+		t.Fatal(err)
+	}
+	vresp.Body.Close()
+	if _, ok := vars["ppmserved"]; !ok {
+		t.Error("expvar surface missing the ppmserved stats")
+	}
+
+	// Run one job through so the drain has completed state to preserve.
+	sresp, err := http.Post(base+"/v1/jobs", "application/json",
+		strings.NewReader(`{"workloads":["eqn"],"events":300}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st struct {
+		ID string `json:"id"`
+	}
+	if err := json.NewDecoder(sresp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	sresp.Body.Close()
+	rresp, err := http.Get(base + "/v1/jobs/" + st.ID + "/results")
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream, err := io.ReadAll(rresp.Body)
+	rresp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(stream), `"state":"done"`) {
+		t.Fatalf("job did not complete:\n%s", stream)
+	}
+
+	// run's signal.NotifyContext has this registered, so the default
+	// terminate-the-process behaviour is suppressed.
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case code := <-exit:
+		if code != 0 {
+			t.Fatalf("exit code %d, want 0; stderr:\n%s", code, stderr.String())
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatalf("daemon did not exit after SIGTERM; stderr:\n%s", stderr.String())
+	}
+	for _, want := range []string{"listening on", "draining", "stopped"} {
+		if !strings.Contains(stderr.String(), want) {
+			t.Errorf("stderr missing %q:\n%s", want, stderr.String())
+		}
+	}
+}
+
+func TestRunBadFlags(t *testing.T) {
+	var stderr bytes.Buffer
+	if code := run([]string{"-nope"}, &stderr, nil); code != 2 {
+		t.Errorf("bad flag exit %d, want 2", code)
+	}
+	if code := run([]string{"-addr", "256.0.0.1:99999"}, &stderr, nil); code != 1 {
+		t.Errorf("unlistenable addr exit %d, want 1", code)
+	}
+}

@@ -1,44 +1,95 @@
 // Command tracegen generates a synthetic benchmark run and writes it to
-// disk in the compact IBT1 binary trace format, for replay with ppmsim:
+// disk in the compact IBT2 binary trace format, for replay with ppmsim or
+// upload to ppmserved:
 //
 //	tracegen -bench perl.exp -events 500000 -o perl.ibt
 //	ppmsim -trace perl.ibt
+//	tracegen -bench troff.ped -o - | ppmctl submit -trace -
+//
+// -o - writes the trace to standard output (the report line moves to
+// stderr). Every write, flush and close error — including a broken pipe —
+// propagates to a non-zero exit code, so shell pipelines can trust $?.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"repro/internal/bench"
 	"repro/internal/trace"
+	"repro/internal/workload"
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main with its edges injected: args without the program name, the
+// stdout stream -o - encodes to, and the stderr stream diagnostics go to.
+// It returns the process exit code instead of calling os.Exit so tests can
+// drive it against failing writers (e.g. a pre-closed pipe).
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("tracegen", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		benchName = flag.String("bench", "", "benchmark run name (see ppmsim -list)")
-		events    = flag.Int("events", bench.DefaultEvents, "dispatch events to generate")
-		out       = flag.String("o", "", "output file (required)")
+		benchName = fs.String("bench", "", "benchmark run name (see ppmsim -list)")
+		events    = fs.Int("events", bench.DefaultEvents, "dispatch events to generate")
+		out       = fs.String("o", "", `output file, or "-" for stdout (required)`)
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	if *benchName == "" || *out == "" {
-		flag.Usage()
-		os.Exit(2)
+		fs.Usage()
+		return 2
 	}
 	cfg, ok := bench.ByName(*benchName)
 	if !ok {
-		fatal(fmt.Errorf("unknown benchmark %q", *benchName))
+		fmt.Fprintf(stderr, "tracegen: unknown benchmark %q\n", *benchName)
+		return 1
 	}
 	cfg.Events = *events
 
-	f, err := os.Create(*out)
-	if err != nil {
-		fatal(err)
+	var (
+		dst    io.Writer
+		report io.Writer = stdout
+		sum    workload.Summary
+		size   int64
+		err    error
+	)
+	if *out == "-" {
+		// The trace owns stdout; the human-readable report yields to stderr.
+		dst, report = stdout, stderr
+		sum, err = writeTrace(cfg, dst)
+	} else {
+		sum, size, err = writeTraceFile(cfg, *out)
 	}
-	w, err := trace.NewWriter(f)
 	if err != nil {
-		fatal(err)
+		fmt.Fprintln(stderr, "tracegen:", err)
+		return 1
+	}
+	if *out == "-" {
+		fmt.Fprintf(report, "%s: %d records (%d MT indirect, %.2fM instructions) -> stdout\n",
+			cfg.String(), sum.Records, sum.MTDynamic, float64(sum.Instructions)/1e6)
+		return 0
+	}
+	fmt.Fprintf(report, "%s: %d records (%d MT indirect, %.2fM instructions) -> %s (%.1f KiB, %.2f bytes/record)\n",
+		cfg.String(), sum.Records, sum.MTDynamic, float64(sum.Instructions)/1e6,
+		*out, float64(size)/1024, float64(size)/float64(sum.Records))
+	return 0
+}
+
+// writeTrace encodes the run to w, surfacing the first write error and any
+// flush error. The record stream keeps generating after a write fails (the
+// generator has no abort path) but encoding stops at the first error, so a
+// broken pipe costs wasted cycles, never a corrupt exit status.
+func writeTrace(cfg workload.Config, dst io.Writer) (workload.Summary, error) {
+	w, err := trace.NewWriter(dst)
+	if err != nil {
+		return workload.Summary{}, err
 	}
 	var writeErr error
 	sum := cfg.Generate(func(r trace.Record) {
@@ -47,24 +98,31 @@ func main() {
 		}
 	})
 	if writeErr != nil {
-		fatal(writeErr)
+		return sum, writeErr
 	}
-	if err := w.Flush(); err != nil {
-		fatal(err)
-	}
-	if err := f.Close(); err != nil {
-		fatal(err)
-	}
-	fi, err := os.Stat(*out)
-	if err != nil {
-		fatal(err)
-	}
-	fmt.Printf("%s: %d records (%d MT indirect, %.2fM instructions) -> %s (%.1f KiB, %.2f bytes/record)\n",
-		cfg.String(), sum.Records, sum.MTDynamic, float64(sum.Instructions)/1e6,
-		*out, float64(fi.Size())/1024, float64(fi.Size())/float64(sum.Records))
+	return sum, w.Flush()
 }
 
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "tracegen:", err)
-	os.Exit(1)
+// writeTraceFile encodes the run to a fresh file and returns its size. The
+// close error is checked even on the success path: with a buffered writer
+// flushed, close is where a full disk or revoked descriptor finally
+// surfaces.
+func writeTraceFile(cfg workload.Config, path string) (workload.Summary, int64, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return workload.Summary{}, 0, err
+	}
+	sum, werr := writeTrace(cfg, f)
+	cerr := f.Close()
+	if werr != nil {
+		return sum, 0, werr
+	}
+	if cerr != nil {
+		return sum, 0, cerr
+	}
+	fi, err := os.Stat(path)
+	if err != nil {
+		return sum, 0, err
+	}
+	return sum, fi.Size(), nil
 }

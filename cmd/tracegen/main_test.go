@@ -1,0 +1,117 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/trace"
+)
+
+// TestRunWritesValidTrace round-trips the happy path through a temp file.
+func TestRunWritesValidTrace(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "t.ibt")
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-bench", "troff.ped", "-events", "200", "-o", out}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit code %d, stderr: %s", code, stderr.String())
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	r, err := trace.NewReader(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, err := r.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) == 0 {
+		t.Error("trace file decoded to zero records")
+	}
+}
+
+// TestRunStdoutPipe drives -o - into a live pipe and checks the stream
+// decodes; the report line must land on stderr, not corrupt the trace.
+func TestRunStdoutPipe(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-bench", "troff.ped", "-events", "100", "-o", "-"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit code %d, stderr: %s", code, stderr.String())
+	}
+	r, err := trace.NewReader(bytes.NewReader(stdout.Bytes()))
+	if err != nil {
+		t.Fatalf("stdout is not a valid trace: %v", err)
+	}
+	if _, err := r.ReadAll(); err != nil {
+		t.Fatalf("stdout trace does not decode: %v", err)
+	}
+	if stderr.Len() == 0 {
+		t.Error("report line missing from stderr under -o -")
+	}
+}
+
+// TestRunBrokenPipeExitsNonZero is the regression the server depends on: a
+// trace written to a pipe whose read end is already closed must surface the
+// write/flush error as a non-zero exit code, not report success.
+func TestRunBrokenPipeExitsNonZero(t *testing.T) {
+	pr, pw, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pr.Close(); err != nil { // pre-close the read end: EPIPE on write
+		t.Fatal(err)
+	}
+	defer pw.Close()
+
+	var stderr bytes.Buffer
+	// Enough events that the encoder must actually hit the pipe (the
+	// writer buffers 64 KiB; flush covers the small-trace case anyway).
+	code := run([]string{"-bench", "troff.ped", "-events", "5000", "-o", "-"}, pw, &stderr)
+	if code == 0 {
+		t.Fatal("tracegen exited 0 writing to a closed pipe")
+	}
+	if stderr.Len() == 0 {
+		t.Error("no diagnostic on stderr for the broken-pipe failure")
+	}
+}
+
+// TestWriteTraceReportsFirstError pins the plumbing below run: writeTrace
+// must return the underlying writer's error rather than swallowing it.
+func TestWriteTraceReportsFirstError(t *testing.T) {
+	cfg, ok := bench.ByName("troff.ped")
+	if !ok {
+		t.Fatal("unknown benchmark")
+	}
+	cfg.Events = 500
+	if _, err := writeTrace(cfg, failAfter{n: 10}); err == nil {
+		t.Error("writeTrace returned nil against a failing writer")
+	}
+}
+
+// TestRunCreateErrorExitsNonZero covers the file path: an unwritable output
+// location must fail loudly.
+func TestRunCreateErrorExitsNonZero(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	out := filepath.Join(t.TempDir(), "no", "such", "dir", "t.ibt")
+	if code := run([]string{"-bench", "troff.ped", "-events", "100", "-o", out}, &stdout, &stderr); code == 0 {
+		t.Fatal("exit code 0 with uncreatable output file")
+	}
+}
+
+// failAfter is an io.Writer that accepts n bytes and then errors.
+type failAfter struct{ n int }
+
+func (f failAfter) Write(p []byte) (int, error) {
+	if f.n <= 0 {
+		return 0, io.ErrClosedPipe
+	}
+	if len(p) > f.n {
+		return f.n, io.ErrClosedPipe
+	}
+	return len(p), nil
+}

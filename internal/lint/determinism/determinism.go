@@ -9,6 +9,12 @@
 //  1. No wall-clock or global-generator randomness: time.Now (and friends)
 //     and the package-level math/rand generators are forbidden. Workloads
 //     draw randomness from the seeded splitmix64 RNG in internal/workload.
+//     Serving machinery (internal/serve and its clients) is the one place
+//     wall-clock time is legitimate — TTL eviction, latency metrics,
+//     Retry-After headers are wall-clock by nature and never feed
+//     simulation results — so a time.* reference annotated `//lint:wallclock
+//     <reason>` (same line or the line above) is exempt. The annotation does
+//     NOT extend to math/rand: randomness stays seeded everywhere.
 //
 //  2. Map iteration must not reach output unordered: a `range` over a map
 //     whose body appends to a slice is flagged unless the slice is passed to
@@ -49,9 +55,10 @@ var bannedFuncs = map[string][]string{
 func run(pass *lint.Pass) error {
 	for _, file := range pass.Files {
 		escapes := lint.EscapeLines(pass.Fset, file, "sorted")
+		wallclock := lint.EscapeLines(pass.Fset, file, "wallclock")
 		ast.Inspect(file, func(n ast.Node) bool {
 			if sel, ok := n.(*ast.SelectorExpr); ok {
-				checkBannedRef(pass, sel)
+				checkBannedRef(pass, sel, wallclock)
 			}
 			return true
 		})
@@ -78,15 +85,20 @@ func run(pass *lint.Pass) error {
 	return nil
 }
 
-// checkBannedRef reports selector references to the banned
-// nondeterminism sources.
-func checkBannedRef(pass *lint.Pass, sel *ast.SelectorExpr) {
+// checkBannedRef reports selector references to the banned nondeterminism
+// sources. wallclock holds the `//lint:wallclock` directive lines of the
+// file; it exempts time.* references only — serving metadata is allowed to
+// read the clock, but nothing is allowed unseeded randomness.
+func checkBannedRef(pass *lint.Pass, sel *ast.SelectorExpr, wallclock map[int]bool) {
 	obj := pass.TypesInfo.ObjectOf(sel.Sel)
 	if obj == nil || obj.Pkg() == nil {
 		return
 	}
 	names, banned := bannedFuncs[obj.Pkg().Path()]
 	if !banned {
+		return
+	}
+	if obj.Pkg().Path() == "time" && lint.Escaped(pass.Fset, wallclock, sel.Pos()) {
 		return
 	}
 	// Only package-level functions and variables are banned; methods on

@@ -15,6 +15,18 @@ func Stamp() int64 {
 	return time.Now().UnixNano() // want `use of time\.Now breaks run-to-run reproducibility`
 }
 
+// ServingClock reads the wall clock for serving metadata (job TTLs,
+// latency metrics), which is exempt under the annotated escape hatch.
+func ServingClock() int64 {
+	return time.Now().Unix() //lint:wallclock serving metadata, never feeds simulation results
+}
+
+// AnnotatedRand shows the wallclock escape does not extend to randomness.
+func AnnotatedRand() int {
+	//lint:wallclock not a clock, still banned
+	return rand.Intn(8) // want `use of math/rand\.Intn breaks run-to-run reproducibility`
+}
+
 // GlobalRand draws from the shared unseeded generator.
 func GlobalRand() int {
 	return rand.Intn(8) // want `use of math/rand\.Intn breaks run-to-run reproducibility`

@@ -1,0 +1,181 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/sim"
+)
+
+// collectStream is streamResults without the *testing.T, safe to call from
+// worker goroutines (t.Fatal must stay on the test goroutine).
+func collectStream(base, id string) ([]CellResult, Event, error) {
+	resp, err := http.Get(base + "/v1/jobs/" + id + "/results")
+	if err != nil {
+		return nil, Event{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, Event{}, fmt.Errorf("results status %d", resp.StatusCode)
+	}
+	var cells []CellResult
+	var done Event
+	dec := json.NewDecoder(resp.Body)
+	for dec.More() {
+		var ev Event
+		if err := dec.Decode(&ev); err != nil {
+			return nil, Event{}, err
+		}
+		switch ev.Type {
+		case "cell":
+			cells = append(cells, *ev.Cell)
+		case "done":
+			done = ev
+		}
+	}
+	if done.Type != "done" {
+		return nil, Event{}, fmt.Errorf("job %s: stream ended without done event", id)
+	}
+	return cells, done, nil
+}
+
+// TestConcurrentLifecycle is the satellite-3 stress test, meant for -race:
+// many goroutines submit, stream, cancel and poll against one server while
+// the janitor evicts behind them. It asserts (a) no data race, (b) every
+// streamed cell is byte-identical to a fresh serial simulation of the same
+// config, and (c) no job leaks — after the dust settles the session table
+// drains to empty.
+func TestConcurrentLifecycle(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test")
+	}
+	const (
+		events     = 300
+		goroutines = 12
+		iterations = 4
+	)
+	runs := []string{"troff.ped", "eqn", "ixx.wid", "photon"}
+
+	// Serial reference cells, one per run, computed outside the server.
+	want := make(map[string][]byte, len(runs))
+	for _, name := range runs {
+		cfg, ok := bench.ByName(name)
+		if !ok {
+			t.Fatalf("unknown run %q", name)
+		}
+		cfg.Events = events
+		recs, _ := cfg.Records()
+		e := sim.New(bench.Figure6Predictors()...)
+		e.ProcessAll(recs)
+		b, err := json.Marshal(cellResult(0, name, e))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[name] = b
+	}
+
+	s := New(Config{
+		MaxConcurrent: 4,
+		MaxActive:     goroutines * 2, // admission never sheds in this test
+		MaxJobs:       goroutines * iterations * 2,
+		JobTTL:        80 * time.Millisecond,
+		JobTimeout:    time.Minute,
+	})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	var wg sync.WaitGroup
+	errc := make(chan error, goroutines*iterations)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for it := 0; it < iterations; it++ {
+				name := runs[(g+it)%len(runs)]
+				body, _ := json.Marshal(JobSpec{Suite: "fig6", Workloads: []string{name}, Events: events})
+				resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", bytes.NewReader(body))
+				if err != nil {
+					errc <- err
+					return
+				}
+				var st JobStatus
+				if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+					resp.Body.Close()
+					errc <- err
+					return
+				}
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusAccepted {
+					errc <- fmt.Errorf("submit status %d", resp.StatusCode)
+					return
+				}
+
+				if (g+it)%3 == 0 {
+					// Cancel a third of the jobs right away, racing the run.
+					req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/"+st.ID, nil)
+					if cr, err := http.DefaultClient.Do(req); err == nil {
+						cr.Body.Close()
+					}
+					continue
+				}
+
+				cells, done, err := collectStream(ts.URL, st.ID)
+				if err != nil {
+					errc <- err
+					return
+				}
+				if done.State != StateDone {
+					errc <- fmt.Errorf("job %s state %q (%s)", st.ID, done.State, done.Error)
+					return
+				}
+				if len(cells) != 1 {
+					errc <- fmt.Errorf("job %s: %d cells", st.ID, len(cells))
+					return
+				}
+				got, err := json.Marshal(cells[0])
+				if err != nil {
+					errc <- err
+					return
+				}
+				if !bytes.Equal(got, want[name]) {
+					errc <- fmt.Errorf("job %s run %s diverged from serial reference\n got: %s\nwant: %s",
+						st.ID, name, got, want[name])
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Error(err)
+	}
+
+	// No leaks: every admitted job reaches a terminal state (the drain
+	// below would hang otherwise) and the janitor empties the table.
+	waitFor(t, func() bool { return s.Stats().TableJobs == 0 })
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown after stress = %v", err)
+	}
+	st := s.Stats()
+	if st.QueueDepth != 0 {
+		t.Errorf("queue depth after drain = %d", st.QueueDepth)
+	}
+	if got := st.JobsCompleted + st.JobsCancelled + st.JobsFailed; got != st.JobsStarted {
+		t.Errorf("terminal jobs %d != started %d (leak)", got, st.JobsStarted)
+	}
+	if st.JobsFailed != 0 {
+		t.Errorf("%d jobs failed during stress", st.JobsFailed)
+	}
+}

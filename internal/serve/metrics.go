@@ -1,0 +1,245 @@
+package serve
+
+import (
+	"expvar"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/tracecache"
+)
+
+// P2 estimates one quantile of a stream in O(1) memory using the P²
+// algorithm (Jain & Chlamtac, CACM 1985): five markers track the minimum,
+// the quantile and the maximum plus two midpoints, and each observation
+// nudges the middle markers toward their desired positions with a parabolic
+// (or, failing monotonicity, linear) height adjustment. Good to a few
+// percent on smooth distributions — exactly what a latency p50/p99 gauge
+// needs, with no allocation after construction.
+//
+// The zero value is not usable; call NewP2. Not safe for concurrent use —
+// latencySketch serializes access.
+type P2 struct {
+	p    float64    // target quantile in (0,1)
+	n    int64      // observations so far
+	pos  [5]float64 // actual marker positions (1-based)
+	want [5]float64 // desired marker positions
+	inc  [5]float64 // desired-position increments per observation
+	q    [5]float64 // marker heights (the estimates)
+}
+
+// NewP2 returns a sketch for the given quantile. Panics if p is not in
+// (0, 1).
+func NewP2(p float64) *P2 {
+	if p <= 0 || p >= 1 {
+		panic("serve: P2 quantile must be in (0, 1)")
+	}
+	return &P2{
+		p:    p,
+		pos:  [5]float64{1, 2, 3, 4, 5},
+		want: [5]float64{1, 1 + 2*p, 1 + 4*p, 3 + 2*p, 5},
+		inc:  [5]float64{0, p / 2, p, (1 + p) / 2, 1},
+	}
+}
+
+// Observe folds one sample into the sketch.
+func (s *P2) Observe(x float64) {
+	s.n++
+	if s.n <= 5 {
+		// Bootstrap: the first five samples become the markers, sorted.
+		s.q[s.n-1] = x
+		if s.n == 5 {
+			sort.Float64s(s.q[:])
+		}
+		return
+	}
+
+	// Locate the cell containing x, extending the extremes when needed.
+	var k int
+	switch {
+	case x < s.q[0]:
+		s.q[0], k = x, 0
+	case x >= s.q[4]:
+		s.q[4], k = x, 3
+	default:
+		for k = 0; k < 3; k++ {
+			if x < s.q[k+1] {
+				break
+			}
+		}
+	}
+	for i := k + 1; i < 5; i++ {
+		s.pos[i]++
+	}
+	for i := range s.want {
+		s.want[i] += s.inc[i]
+	}
+
+	// Nudge the three interior markers toward their desired positions.
+	for i := 1; i <= 3; i++ {
+		d := s.want[i] - s.pos[i]
+		if (d >= 1 && s.pos[i+1]-s.pos[i] > 1) || (d <= -1 && s.pos[i-1]-s.pos[i] < -1) {
+			sign := 1.0
+			if d < 0 {
+				sign = -1
+			}
+			if q := s.parabolic(i, sign); s.q[i-1] < q && q < s.q[i+1] {
+				s.q[i] = q
+			} else {
+				s.q[i] = s.linear(i, sign)
+			}
+			s.pos[i] += sign
+		}
+	}
+}
+
+// parabolic is the P² piecewise-parabolic height prediction for moving
+// marker i one position in direction d (±1).
+func (s *P2) parabolic(i int, d float64) float64 {
+	return s.q[i] + d/(s.pos[i+1]-s.pos[i-1])*
+		((s.pos[i]-s.pos[i-1]+d)*(s.q[i+1]-s.q[i])/(s.pos[i+1]-s.pos[i])+
+			(s.pos[i+1]-s.pos[i]-d)*(s.q[i]-s.q[i-1])/(s.pos[i]-s.pos[i-1]))
+}
+
+// linear is the fallback height prediction when the parabola overshoots a
+// neighbouring marker.
+func (s *P2) linear(i int, d float64) float64 {
+	j := i + int(d)
+	return s.q[i] + d*(s.q[j]-s.q[i])/(s.pos[j]-s.pos[i])
+}
+
+// Quantile returns the current estimate. With fewer than five observations
+// it falls back to the exact order statistic of what has been seen; with
+// none it returns 0.
+func (s *P2) Quantile() float64 {
+	if s.n == 0 {
+		return 0
+	}
+	if s.n < 5 {
+		tmp := make([]float64, s.n)
+		copy(tmp, s.q[:s.n])
+		sort.Float64s(tmp)
+		idx := int(s.p * float64(s.n))
+		if idx >= len(tmp) {
+			idx = len(tmp) - 1
+		}
+		return tmp[idx]
+	}
+	return s.q[2]
+}
+
+// Count returns the number of observations folded in.
+func (s *P2) Count() int64 { return s.n }
+
+// latencySketch tracks job wall-clock latency quantiles.
+type latencySketch struct {
+	mu  sync.Mutex
+	p50 *P2
+	p99 *P2
+}
+
+func newLatencySketch() *latencySketch {
+	return &latencySketch{p50: NewP2(0.50), p99: NewP2(0.99)}
+}
+
+func (l *latencySketch) observe(d time.Duration) {
+	ms := float64(d) / float64(time.Millisecond)
+	l.mu.Lock()
+	l.p50.Observe(ms)
+	l.p99.Observe(ms)
+	l.mu.Unlock()
+}
+
+func (l *latencySketch) quantiles() (p50, p99 float64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.p50.Quantile(), l.p99.Quantile()
+}
+
+// metrics is the server's counter block. Everything is atomic so hot
+// handlers never contend on a stats mutex.
+type metrics struct {
+	started   atomic.Uint64 // jobs admitted and started
+	completed atomic.Uint64 // jobs that reached StateDone
+	cancelled atomic.Uint64 // client cancels + drain aborts
+	failed    atomic.Uint64 // deadline or internal failures
+	rejected  atomic.Uint64 // 429 responses (admission + saturation)
+	evicted   atomic.Uint64 // TTL/capacity table evictions
+	cells     atomic.Uint64 // simulation cells completed
+	queued    atomic.Int64  // cells waiting on a simulation slot
+	uploads   atomic.Uint64 // trace-upload jobs accepted
+	badUpload atomic.Uint64 // uploads rejected as truncated/corrupt
+	latency   *latencySketch
+}
+
+// Stats is the JSON shape of /statsz and the expvar surface.
+type Stats struct {
+	JobsStarted    uint64  `json:"jobs_started"`
+	JobsCompleted  uint64  `json:"jobs_completed"`
+	JobsCancelled  uint64  `json:"jobs_cancelled"`
+	JobsFailed     uint64  `json:"jobs_failed"`
+	Rejected       uint64  `json:"rejected"`
+	Evicted        uint64  `json:"evicted"`
+	Cells          uint64  `json:"cells"`
+	QueueDepth     int64   `json:"queue_depth"`
+	Uploads        uint64  `json:"uploads"`
+	BadUploads     uint64  `json:"bad_uploads"`
+	ActiveJobs     int     `json:"active_jobs"`
+	TableJobs      int     `json:"table_jobs"`
+	Draining       bool    `json:"draining"`
+	LatencyP50MS   float64 `json:"latency_p50_ms"`
+	LatencyP99MS   float64 `json:"latency_p99_ms"`
+	LatencySamples int64   `json:"latency_samples"`
+	// Cache re-exports the trace cache's own traffic counters.
+	Cache tracecache.Stats `json:"tracecache"`
+}
+
+// Stats snapshots the server's counters, gauges and cache traffic.
+func (s *Server) Stats() Stats {
+	p50, p99 := s.met.latency.quantiles()
+	s.met.latency.mu.Lock()
+	samples := s.met.latency.p50.Count()
+	s.met.latency.mu.Unlock()
+
+	s.mu.Lock()
+	table := len(s.jobs)
+	active := 0
+	for _, j := range s.jobs { //lint:sorted commutative count; iteration order cannot matter
+		j.mu.Lock()
+		if !j.terminalLocked() {
+			active++
+		}
+		j.mu.Unlock()
+	}
+	draining := s.draining
+	s.mu.Unlock()
+
+	return Stats{
+		JobsStarted:    s.met.started.Load(),
+		JobsCompleted:  s.met.completed.Load(),
+		JobsCancelled:  s.met.cancelled.Load(),
+		JobsFailed:     s.met.failed.Load(),
+		Rejected:       s.met.rejected.Load(),
+		Evicted:        s.met.evicted.Load(),
+		Cells:          s.met.cells.Load(),
+		QueueDepth:     s.met.queued.Load(),
+		Uploads:        s.met.uploads.Load(),
+		BadUploads:     s.met.badUpload.Load(),
+		ActiveJobs:     active,
+		TableJobs:      table,
+		Draining:       draining,
+		LatencyP50MS:   p50,
+		LatencyP99MS:   p99,
+		LatencySamples: samples,
+		Cache:          s.cache.Stats(),
+	}
+}
+
+// Vars wraps Stats as an expvar.Var so a caller can expvar.Publish it;
+// publication is left to the binary (cmd/ppmserved) because the expvar
+// registry is process-global and panics on duplicate names, which embedded
+// and test servers must not risk.
+func (s *Server) Vars() expvar.Var {
+	return expvar.Func(func() any { return s.Stats() })
+}

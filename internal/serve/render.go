@@ -1,0 +1,61 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/report"
+	"repro/internal/stats"
+)
+
+// Counters converts a wire-format predictor result back into the harness's
+// counter type, so served numbers flow through the exact formatting code
+// the experiment tables use.
+func (p PredictorResult) Counters() stats.Counters {
+	return stats.Counters{
+		Predictor: p.Name, Lookups: p.Lookups,
+		Correct: p.Correct, Wrong: p.Wrong, NoPrediction: p.NoPrediction,
+	}
+}
+
+// RenderMatrix renders streamed cell results as the experiment harness's
+// misprediction matrix — one row per run, one column per predictor, a MEAN
+// row of per-run ratio averages — using the same report.Table and
+// percentage formatting as cmd/experiments' printMatrix. Cells arrive in
+// completion order (the stream is concurrent); they are sorted back into
+// suite order by index, so for a given (workload config, suite, events) the
+// output is byte-identical to the serial harness. CI pins that equivalence.
+func RenderMatrix(w io.Writer, title string, cells []CellResult) {
+	if len(cells) == 0 {
+		fmt.Fprintln(w, title)
+		fmt.Fprintln(w, "  (no cells)")
+		return
+	}
+	ordered := make([]CellResult, len(cells))
+	copy(ordered, cells)
+	sort.Slice(ordered, func(a, b int) bool { return ordered[a].Index < ordered[b].Index })
+
+	names := make([]string, len(ordered[0].Predictors))
+	for i, p := range ordered[0].Predictors {
+		names[i] = p.Name
+	}
+	t := report.NewTable(title, append([]string{"run"}, names...)...)
+	perPred := make(map[string][]stats.Counters)
+	for _, cell := range ordered {
+		row := []string{cell.Run}
+		for _, p := range cell.Predictors {
+			c := p.Counters()
+			row = append(row, report.Pct(c.MispredictionRatio()))
+			perPred[c.Predictor] = append(perPred[c.Predictor], c)
+		}
+		t.AddRow(row...)
+	}
+	avg := []string{"MEAN"}
+	for _, n := range names {
+		avg = append(avg, report.Pct(stats.MeanRatio(perPred[n])))
+	}
+	t.AddRow(avg...)
+	t.Render(w)
+	fmt.Fprintln(w)
+}

@@ -27,6 +27,14 @@ const magic = "IBT2"
 // the trace file magic.
 var ErrBadMagic = errors.New("trace: bad magic (not an IBT2 trace)")
 
+// ErrTruncated is returned by Read when the stream ends in the middle of a
+// record — after its flags byte but before its last varint field. It wraps
+// io.ErrUnexpectedEOF (errors.Is holds for both), so callers that already
+// handle ErrUnexpectedEOF keep working, while callers that need to
+// distinguish "client sent a cut-off trace" (a 400) from an internal decode
+// failure (a 500) can match this sentinel directly.
+var ErrTruncated = fmt.Errorf("trace: truncated record: %w", io.ErrUnexpectedEOF)
+
 const (
 	flagClassMask = 0x07
 	flagTaken     = 0x08
@@ -174,9 +182,11 @@ func (r *Reader) Read() (Record, error) {
 // Count returns the number of records read so far.
 func (r *Reader) Count() uint64 { return r.count }
 
+// truncated maps an end-of-stream error hit mid-record to ErrTruncated;
+// genuine I/O errors pass through untouched.
 func truncated(err error) error {
-	if err == io.EOF {
-		return io.ErrUnexpectedEOF
+	if err == io.EOF || err == io.ErrUnexpectedEOF {
+		return ErrTruncated
 	}
 	return err
 }

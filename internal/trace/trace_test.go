@@ -2,6 +2,7 @@ package trace
 
 import (
 	"bytes"
+	"errors"
 	"io"
 	"strings"
 	"testing"
@@ -210,8 +211,74 @@ func TestReaderTruncatedRecord(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := r.Read(); err != io.ErrUnexpectedEOF {
-		t.Errorf("truncated read error = %v, want ErrUnexpectedEOF", err)
+	_, err = r.Read()
+	if !errors.Is(err, ErrTruncated) {
+		t.Errorf("truncated read error = %v, want ErrTruncated", err)
+	}
+	if !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Errorf("ErrTruncated must wrap io.ErrUnexpectedEOF, got %v", err)
+	}
+}
+
+// TestReaderTruncatedEveryPrefix slices a valid multi-record trace at every
+// byte offset past the header. Whatever the cut point, the reader must
+// either drain cleanly (the cut landed on a record boundary — io.EOF) or
+// report ErrTruncated (the cut landed mid-record); a bare decode error or a
+// silent truncation would make the server 500 a bad upload instead of
+// 400ing it.
+func TestReaderTruncatedEveryPrefix(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := sampleRecords()
+	for _, r := range recs {
+		if err := w.Write(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+
+	boundaries := 0
+	for cut := len(magic); cut <= len(data); cut++ {
+		r, err := NewReader(bytes.NewReader(data[:cut]))
+		if err != nil {
+			t.Fatalf("cut=%d: NewReader: %v", cut, err)
+		}
+		n := 0
+		for {
+			_, err := r.Read()
+			if err == nil {
+				n++
+				continue
+			}
+			if err == io.EOF {
+				boundaries++
+				if cut == len(data) && n != len(recs) {
+					t.Errorf("full trace decoded %d records, want %d", n, len(recs))
+				}
+				break
+			}
+			if !errors.Is(err, ErrTruncated) {
+				t.Fatalf("cut=%d after %d records: error = %v, want ErrTruncated", cut, n, err)
+			}
+			if cut == len(data) {
+				t.Fatalf("untruncated trace reported ErrTruncated after %d records", n)
+			}
+			break
+		}
+		if n > len(recs) {
+			t.Fatalf("cut=%d: decoded %d records from a %d-record trace", cut, n, len(recs))
+		}
+	}
+	// One clean EOF per record boundary (after each record, including the
+	// full trace) — anything else means boundary detection drifted.
+	if boundaries != len(recs)+1 {
+		t.Errorf("clean-EOF prefixes = %d, want %d (one per record boundary plus the empty body)", boundaries, len(recs)+1)
 	}
 }
 

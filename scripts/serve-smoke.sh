@@ -1,0 +1,97 @@
+#!/bin/sh
+# serve-smoke: end-to-end gate for the serving subsystem (make serve-smoke).
+#
+# Boots a real ppmserved on an ephemeral port, drives it with ppmctl:
+#   1. submits a fig6 suite job and waits for it;
+#   2. renders the streamed results and diffs them byte-for-byte against the
+#      checked-in golden — which is literally the output of
+#      `go run ./cmd/experiments -fig6 -events 2000`, so the service's
+#      determinism contract (served == serial harness) is pinned end to end,
+#      over a real socket, not just in-process;
+#   3. checks the stats surface counted the job;
+#   4. submits a larger job and immediately SIGTERMs the daemon: a clean
+#      drain (exit 0, "draining"/"stopped" on stderr) must complete the
+#      in-flight work inside the drain timeout.
+set -eu
+
+cd "$(dirname "$0")/.."
+tmp="$(mktemp -d)"
+pid=""
+cleanup() {
+    if [ -n "$pid" ]; then kill "$pid" 2>/dev/null || true; fi
+    rm -rf "$tmp"
+}
+trap cleanup EXIT INT TERM
+
+go build -o "$tmp/ppmserved" ./cmd/ppmserved
+go build -o "$tmp/ppmctl" ./cmd/ppmctl
+
+"$tmp/ppmserved" -addr 127.0.0.1:0 -drain-timeout 60s 2>"$tmp/served.log" &
+pid=$!
+
+addr=""
+i=0
+while [ $i -lt 100 ]; do
+    addr="$(sed -n 's/^ppmserved: listening on //p' "$tmp/served.log")"
+    if [ -n "$addr" ]; then break; fi
+    if ! kill -0 "$pid" 2>/dev/null; then
+        echo "serve-smoke: ppmserved died at startup:" >&2
+        cat "$tmp/served.log" >&2
+        exit 1
+    fi
+    sleep 0.1
+    i=$((i + 1))
+done
+if [ -z "$addr" ]; then
+    echo "serve-smoke: ppmserved did not report an address" >&2
+    cat "$tmp/served.log" >&2
+    exit 1
+fi
+server="http://$addr"
+echo "serve-smoke: ppmserved up at $server"
+
+# 1. A fig6 suite job, streamed to completion.
+"$tmp/ppmctl" -server "$server" submit -suite fig6 -events 2000 -wait >"$tmp/submit.ndjson"
+id="$(head -n 1 "$tmp/submit.ndjson" | sed -n 's/.*"id":"\([^"]*\)".*/\1/p')"
+if [ -z "$id" ]; then
+    echo "serve-smoke: no job id in submit response" >&2
+    head -n 1 "$tmp/submit.ndjson" >&2
+    exit 1
+fi
+
+# 2. Rendered results must match the serial cmd/experiments output exactly.
+"$tmp/ppmctl" -server "$server" results -render \
+    -title "Figure 6: misprediction ratios (%), 2K-entry predictors" "$id" >"$tmp/got.txt"
+if ! diff -u scripts/testdata/serve-smoke-fig6.golden "$tmp/got.txt"; then
+    echo "serve-smoke: served matrix diverges from the golden (= serial harness output)" >&2
+    exit 1
+fi
+
+# 3. The stats surface counted the job.
+"$tmp/ppmctl" -server "$server" stats >"$tmp/stats.json"
+if ! grep -q '"jobs_completed":1' "$tmp/stats.json"; then
+    echo "serve-smoke: /statsz did not count the completed job:" >&2
+    cat "$tmp/stats.json" >&2
+    exit 1
+fi
+
+# 4. Graceful shutdown with a job in flight.
+"$tmp/ppmctl" -server "$server" submit -suite fig6 -events 20000 >/dev/null
+kill -TERM "$pid"
+rc=0
+wait "$pid" || rc=$?
+pid=""
+if [ "$rc" -ne 0 ]; then
+    echo "serve-smoke: drain exited $rc (want 0):" >&2
+    cat "$tmp/served.log" >&2
+    exit 1
+fi
+for want in draining stopped; do
+    if ! grep -q "$want" "$tmp/served.log"; then
+        echo "serve-smoke: shutdown log missing \"$want\":" >&2
+        cat "$tmp/served.log" >&2
+        exit 1
+    fi
+done
+
+echo "serve-smoke: OK"
