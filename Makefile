@@ -4,7 +4,7 @@
 GO      ?= go
 FUZZTIME ?= 30s
 
-.PHONY: all build test race lint fmt vet ppmlint escapes-check escapes-update bench bench-experiments parallel-smoke serve-smoke fuzz-smoke ci
+.PHONY: all build test race lint fmt vet ppmlint escapes-check escapes-update bench bench-experiments parallel-smoke serve-smoke check-quick check fuzz-smoke ci
 
 all: build
 
@@ -68,9 +68,22 @@ serve-smoke:
 
 lint: fmt vet ppmlint
 
+# The correctness harness's bounded CI pass: regression-corpus replay, a
+# differential hunt of every predictor family against its naive reference,
+# the metamorphic identities (cache on/off, worker counts, served vs serial,
+# split vs concat sessions, upload vs batch), and byte-offset fault sweeps
+# over the trace decoder and the upload endpoint.
+check-quick:
+	$(GO) run ./cmd/ppmcheck -quick
+
+# The long-running hunt for local use; scales the differential search far
+# past the CI bound. Divergences are minimized and written into the corpus.
+check:
+	$(GO) run ./cmd/ppmcheck -seeds 200 -events 5000
+
 # A short fuzz of the trace reader keeps the parser honest against corpus
 # drift without turning CI into a fuzzing farm.
 fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzReader -fuzztime=$(FUZZTIME) ./internal/trace
 
-ci: build lint escapes-check race parallel-smoke serve-smoke fuzz-smoke
+ci: build lint escapes-check race parallel-smoke serve-smoke check-quick fuzz-smoke

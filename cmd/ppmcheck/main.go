@@ -1,0 +1,142 @@
+// Command ppmcheck is the simulator's correctness harness: it hunts for
+// disagreements between the optimized predictors and their naive references,
+// replays the checked-in regression corpus, runs the metamorphic properties
+// (caching, worker count, serving and session granularity must never change
+// a result byte), and sweeps fault injection across the trace decoder and
+// the upload path.
+//
+//	ppmcheck -quick              the bounded CI pass (corpus + small sweeps)
+//	ppmcheck -seeds 500          a long differential hunt
+//	ppmcheck -families PPM-hyb   restrict the differential hunt
+//	ppmcheck -corpus DIR         corpus location (default internal/check/testdata/corpus)
+//
+// When the differential oracle finds a divergence, ppmcheck minimizes the
+// failing trace with delta debugging, writes it into the corpus as a new
+// seed (diff-<family>-seed<N>), and exits nonzero: the bug becomes a
+// regression test before it is even fixed.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/check"
+	"repro/internal/trace"
+)
+
+func main() {
+	var (
+		quick    = flag.Bool("quick", false, "bounded pass: corpus replay, small differential/metamorphic/fault sweeps")
+		seeds    = flag.Int("seeds", 50, "random seeds per family for the differential hunt")
+		events   = flag.Int("events", 2000, "records per generated trace")
+		families = flag.String("families", "", "comma-separated predictor families (default all)")
+		corpus   = flag.String("corpus", "internal/check/testdata/corpus", "regression-seed corpus directory")
+	)
+	flag.Parse()
+
+	if *quick {
+		*seeds, *events = 6, 800
+	}
+	fams := check.Families()
+	if *families != "" {
+		fams = strings.Split(*families, ",")
+	}
+
+	ok := true
+	ok = replayCorpus(*corpus) && ok
+	ok = diffHunt(fams, *seeds, *events, *corpus) && ok
+	ok = run("metamorphic", check.Metamorphic(1, *events)) && ok
+	ok = run("truncation sweep", check.TruncationSweep(check.RandomRecords(9, 60), nil)) && ok
+	ok = run("errafter sweep", check.ErrAfterSweep(check.RandomRecords(9, 60))) && ok
+	ok = uploadSweep() && ok
+	if !ok {
+		os.Exit(1)
+	}
+	fmt.Println("ppmcheck: all checks passed")
+}
+
+// run reports one named check.
+func run(name string, err error) bool {
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "FAIL %s: %v\n", name, err)
+		return false
+	}
+	fmt.Printf("ok   %s\n", name)
+	return true
+}
+
+// replayCorpus re-runs every checked-in regression seed.
+func replayCorpus(dir string) bool {
+	seeds, err := check.LoadSeeds(dir)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "FAIL corpus: %v\n", err)
+		return false
+	}
+	ok := true
+	for _, e := range seeds {
+		if err := check.ReplaySeed(e); err != nil {
+			fmt.Fprintf(os.Stderr, "FAIL corpus seed %s: %v\n", e.Seed.Name, err)
+			ok = false
+		}
+	}
+	if ok {
+		fmt.Printf("ok   corpus (%d seeds)\n", len(seeds))
+	}
+	return ok
+}
+
+// diffHunt lock-steps every family against its reference over randomized
+// traces; a divergence is minimized and written back into the corpus.
+func diffHunt(fams []string, seeds, events int, corpusDir string) bool {
+	ok := true
+	for _, fam := range fams {
+		for seed := uint64(1); seed <= uint64(seeds); seed++ {
+			for _, in := range []struct {
+				kind string
+				recs []trace.Record
+			}{
+				{"workload", check.RandomTrace(seed, events)},
+				{"raw", check.RandomRecords(seed, events)},
+			} {
+				d, err := check.DiffFamily(fam, in.recs)
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "FAIL differential %s: %v\n", fam, err)
+					return false
+				}
+				if d == nil {
+					continue
+				}
+				ok = false
+				min := check.Shrink(in.recs, func(r []trace.Record) bool { return check.Diverges(fam, r) })
+				fmt.Fprintf(os.Stderr, "FAIL differential %s (%s seed %d): %s\n  minimized to %d records\n", fam, in.kind, seed, d, len(min))
+				seedName := fmt.Sprintf("diff-%s-seed%d", strings.ToLower(fam), seed)
+				werr := check.WriteSeed(corpusDir, check.Seed{
+					Name: seedName, Family: fam, Kind: "diff",
+					Note: fmt.Sprintf("minimized divergence found by ppmcheck (%s stream, seed %d)", in.kind, seed),
+				}, min)
+				if werr != nil {
+					fmt.Fprintf(os.Stderr, "  (could not write corpus seed: %v)\n", werr)
+				} else {
+					fmt.Fprintf(os.Stderr, "  repro written to %s/%s.{json,ibt2}\n", corpusDir, seedName)
+				}
+			}
+		}
+	}
+	if ok {
+		fmt.Printf("ok   differential (%d families x %d seeds x 2 streams)\n", len(fams), seeds)
+	}
+	return ok
+}
+
+// uploadSweep runs the HTTP upload truncation sweep.
+func uploadSweep() bool {
+	report, err := check.UploadTruncationSweep(check.RandomRecords(9, 40), "BTB")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "FAIL upload sweep: %v\n", err)
+		return false
+	}
+	fmt.Printf("ok   upload sweep (%d clean prefixes, %d rejected cuts, 0 leaked jobs)\n", report.Accepted, report.Rejected)
+	return true
+}

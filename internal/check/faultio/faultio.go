@@ -1,0 +1,111 @@
+// Package faultio wraps io.Readers with deterministic fault injection for
+// the correctness harness: byte-exact truncation, adversarially short reads,
+// and synthetic mid-stream errors. The wrappers let the harness drive
+// trace.Reader and the ppmserved upload path through every failure mode a
+// network peer or corrupt file can produce, without touching the code under
+// test.
+package faultio
+
+import "io"
+
+// truncateReader yields at most n bytes of the underlying reader, then a
+// clean io.EOF — a stream cut off at an arbitrary byte offset.
+type truncateReader struct {
+	r io.Reader
+	n int64
+}
+
+// Truncate returns a reader that delivers the first n bytes of r and then
+// io.EOF, regardless of how much more r holds.
+func Truncate(r io.Reader, n int64) io.Reader {
+	return &truncateReader{r: r, n: n}
+}
+
+func (t *truncateReader) Read(p []byte) (int, error) {
+	if t.n <= 0 {
+		return 0, io.EOF
+	}
+	if int64(len(p)) > t.n {
+		p = p[:t.n]
+	}
+	n, err := t.r.Read(p)
+	t.n -= int64(n)
+	return n, err
+}
+
+// shortReader delivers 1..max bytes per Read call, with call sizes drawn
+// from a deterministic splitmix64 sequence. It stresses every refill path a
+// buffered decoder has: multi-byte varints split across Read calls, headers
+// arriving one byte at a time.
+type shortReader struct {
+	r     io.Reader
+	state uint64
+	max   int
+}
+
+// ShortReads wraps r so each Read returns at most a pseudo-random 1..max
+// bytes. The sequence of sizes is fully determined by seed.
+func ShortReads(r io.Reader, seed uint64, max int) io.Reader {
+	if max < 1 {
+		max = 1
+	}
+	if seed == 0 {
+		seed = 0x9e3779b97f4a7c15
+	}
+	return &shortReader{r: r, state: seed, max: max}
+}
+
+func (s *shortReader) next() uint64 {
+	s.state += 0x9e3779b97f4a7c15
+	z := s.state
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return z
+}
+
+func (s *shortReader) Read(p []byte) (int, error) {
+	if len(p) == 0 {
+		return s.r.Read(p)
+	}
+	n := 1 + int(s.next()%uint64(s.max))
+	if n > len(p) {
+		n = len(p)
+	}
+	return s.r.Read(p[:n])
+}
+
+// errAfterReader yields the first n bytes of r, then the configured error —
+// a device failing mid-stream rather than ending cleanly.
+type errAfterReader struct {
+	r   io.Reader
+	n   int64
+	err error
+}
+
+// ErrAfter returns a reader that delivers the first n bytes of r and then
+// fails every subsequent Read with err. It models a genuine I/O fault (as
+// opposed to truncation, which ends with EOF); decoders must surface err
+// itself, not misclassify it as a truncated stream.
+func ErrAfter(r io.Reader, n int64, err error) io.Reader {
+	return &errAfterReader{r: r, n: n, err: err}
+}
+
+func (e *errAfterReader) Read(p []byte) (int, error) {
+	if e.n <= 0 {
+		return 0, e.err
+	}
+	if int64(len(p)) > e.n {
+		p = p[:e.n]
+	}
+	n, err := e.r.Read(p)
+	e.n -= int64(n)
+	if err == io.EOF {
+		// The underlying stream ran out before the fault offset: the fault
+		// still fires, because the caller asked for an error, not EOF.
+		return n, e.err
+	}
+	return n, err
+}

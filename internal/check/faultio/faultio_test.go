@@ -1,0 +1,97 @@
+package faultio
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+)
+
+func TestTruncate(t *testing.T) {
+	src := []byte("abcdefghij")
+	for n := 0; n <= len(src)+2; n++ {
+		got, err := io.ReadAll(Truncate(bytes.NewReader(src), int64(n)))
+		if err != nil {
+			t.Fatalf("Truncate(%d): %v", n, err)
+		}
+		want := src
+		if n < len(src) {
+			want = src[:n]
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("Truncate(%d) = %q, want %q", n, got, want)
+		}
+	}
+}
+
+func TestShortReadsDeliverEverything(t *testing.T) {
+	src := bytes.Repeat([]byte("xyz123"), 100)
+	for seed := uint64(1); seed <= 5; seed++ {
+		got, err := io.ReadAll(ShortReads(bytes.NewReader(src), seed, 3))
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if !bytes.Equal(got, src) {
+			t.Fatalf("seed %d: short-read stream corrupted the data", seed)
+		}
+	}
+}
+
+func TestShortReadsAreShort(t *testing.T) {
+	r := ShortReads(bytes.NewReader(bytes.Repeat([]byte{7}, 64)), 42, 2)
+	buf := make([]byte, 64)
+	n, err := r.Read(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n > 2 {
+		t.Fatalf("Read returned %d bytes, max is 2", n)
+	}
+}
+
+func TestShortReadsDeterministic(t *testing.T) {
+	sizes := func(seed uint64) []int {
+		r := ShortReads(bytes.NewReader(bytes.Repeat([]byte{1}, 128)), seed, 4)
+		var out []int
+		buf := make([]byte, 16)
+		for {
+			n, err := r.Read(buf)
+			if n > 0 {
+				out = append(out, n)
+			}
+			if err != nil {
+				return out
+			}
+		}
+	}
+	a, b := sizes(99), sizes(99)
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("size %d differs: %d vs %d", i, a[i], b[i])
+		}
+	}
+}
+
+func TestErrAfter(t *testing.T) {
+	boom := errors.New("boom")
+	src := []byte("0123456789")
+	got, err := io.ReadAll(ErrAfter(bytes.NewReader(src), 4, boom))
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if !bytes.Equal(got, src[:4]) {
+		t.Fatalf("got %q before the fault, want %q", got, src[:4])
+	}
+}
+
+func TestErrAfterFiresAtEOF(t *testing.T) {
+	boom := errors.New("boom")
+	// Fault offset beyond the stream: the fault replaces the clean EOF.
+	_, err := io.ReadAll(ErrAfter(bytes.NewReader([]byte("ab")), 100, boom))
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+}

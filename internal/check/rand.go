@@ -1,0 +1,114 @@
+package check
+
+import (
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// This file generates the randomized inputs the differential harness
+// replays: structured workloads (realistic correlation patterns through the
+// workload generator) and raw adversarial record streams (tiny PC/target
+// pools, arbitrary class mixes, hostile MT/Taken bits) that reach states a
+// well-formed workload never produces.
+
+// RandomConfig derives a randomized workload configuration from a seed:
+// random site counts, behaviors, polymorphism degrees and chain settings,
+// all drawn deterministically so a seed is a complete reproduction recipe.
+func RandomConfig(seed uint64, events int) workload.Config {
+	rng := workload.NewRNG(seed ^ 0xd1ff)
+	nsites := 1 + rng.Intn(6)
+	specs := make([]workload.SiteSpec, nsites)
+	for i := range specs {
+		class := trace.IndirectJmp
+		if rng.Bool(0.5) {
+			class = trace.IndirectJsr
+		}
+		ntgt := 1 + rng.Intn(8)
+		var b workload.Behavior
+		switch rng.Intn(6) {
+		case 0:
+			b = workload.Monomorphic{Bias: 0.8 + 0.2*rng.Float64()}
+		case 1:
+			b = workload.LowEntropy{SwitchProb: 0.05 + 0.2*rng.Float64()}
+		case 2:
+			stream := workload.Stream(rng.Intn(3))
+			b = workload.Correlated{Stream: stream, Order: 1 + rng.Intn(4), Noise: 0.1 * rng.Float64()}
+		case 3:
+			b = workload.CondDriven{Order: 1 + rng.Intn(3), Noise: 0.1 * rng.Float64()}
+		case 4:
+			b = workload.Cyclic{}
+		default:
+			b = workload.Uniform{}
+		}
+		specs[i] = workload.SiteSpec{
+			Label:      "rnd",
+			Class:      class,
+			NumTargets: ntgt,
+			Behavior:   b,
+			Weight:     1 + rng.Intn(5),
+			Cluster:    ntgt <= 4 && rng.Bool(0.2),
+		}
+	}
+	return workload.Config{
+		Name:            "check",
+		Input:           "rnd",
+		Seed:            seed,
+		Events:          events,
+		Sites:           specs,
+		CondPerEvent:    rng.Intn(4),
+		CondNoise:       0.3 * rng.Float64(),
+		CondPatternBits: uint(2 + rng.Intn(3)),
+		STRate:          0.3 * rng.Float64(),
+		CallRate:        0.3 * rng.Float64(),
+		ChainSites:      rng.Bool(0.5),
+		ChainNoise:      0.2 * rng.Float64(),
+		ChainOrder:      1 + rng.Intn(3),
+	}
+}
+
+// RandomTrace generates the record stream for RandomConfig(seed, events).
+func RandomTrace(seed uint64, events int) []trace.Record {
+	recs, _ := RandomConfig(seed, events).Records()
+	return recs
+}
+
+// RandomRecords generates n raw adversarial records: a handful of branch
+// addresses and targets reused across arbitrary classes, with MT and Taken
+// bits set independently of class conventions. These streams violate the
+// structural invariants real programs maintain (returns matching calls,
+// MT only on polymorphic sites), which is exactly the point — the
+// predictors must agree with their references on any record sequence, not
+// just plausible ones.
+func RandomRecords(seed uint64, n int) []trace.Record {
+	rng := workload.NewRNG(seed ^ 0xbad5eed)
+	npc := 2 + rng.Intn(8)
+	ntgt := 2 + rng.Intn(8)
+	pcs := make([]uint64, npc)
+	tgts := make([]uint64, ntgt)
+	for i := range pcs {
+		pcs[i] = 0x1000_0000 | (rng.Uint64()&0xffff)<<2
+	}
+	for i := range tgts {
+		tgts[i] = 0x2000_0000 | (rng.Uint64()&0xffff)<<2
+	}
+	classes := []trace.Class{
+		trace.CondDirect, trace.UncondDirect, trace.DirectCall,
+		trace.IndirectJmp, trace.IndirectJsr, trace.Return, trace.JsrCoroutine,
+	}
+	recs := make([]trace.Record, n)
+	for i := range recs {
+		c := classes[rng.Intn(len(classes))]
+		recs[i] = trace.Record{
+			PC:     pcs[rng.Intn(npc)],
+			Target: tgts[rng.Intn(ntgt)],
+			Class:  c,
+			Taken:  c != trace.CondDirect || rng.Bool(0.5),
+			MT:     rng.Bool(0.7),
+			Gap:    uint32(rng.Intn(16)),
+		}
+		if c == trace.IndirectJmp && recs[i].MT {
+			recs[i].Value = uint32(rng.Intn(8))
+		}
+	}
+	return recs
+}

@@ -1,0 +1,188 @@
+package check
+
+// Naive bit-level reimplementations of the internal/hashing index functions.
+// Each works on explicit little-endian bit slices, one bit per byte, with no
+// shift/mask tricks: every bit of the output is computed by walking the
+// definition from the paper (select these bits, fold them into that many
+// positions, place the fold at this offset, XOR). The differential harness
+// trusts these because they are transparently the written-out definition;
+// agreement with internal/hashing then certifies the optimized forms.
+
+// refBits expands the n low-order bits of v into a little-endian bit slice
+// (index 0 = least significant bit).
+func refBits(v uint64, n uint) []uint8 {
+	bits := make([]uint8, n)
+	for i := uint(0); i < n && i < 64; i++ {
+		bits[i] = uint8((v >> i) & 1)
+	}
+	return bits
+}
+
+// refJoin reassembles a little-endian bit slice into a value.
+func refJoin(bits []uint8) uint64 {
+	var v uint64
+	for i, b := range bits {
+		if i >= 64 {
+			break
+		}
+		v |= uint64(b&1) << uint(i)
+	}
+	return v
+}
+
+// refMask is the n-low-bits mask, built bit by bit.
+func refMask(n uint) uint64 {
+	var bits []uint8
+	for i := uint(0); i < n && i < 64; i++ {
+		bits = append(bits, 1)
+	}
+	for uint(len(bits)) < 64 {
+		bits = append(bits, 0)
+	}
+	return refJoin(bits)
+}
+
+// refSelect keeps the n low-order bits of v.
+func refSelect(v uint64, n uint) uint64 { return v & refMask(n) }
+
+// refFold XOR-folds the in low-order bits of v into out bits: output bit k
+// is the XOR of input bits k, k+out, k+2*out, ... — successive out-bit
+// chunks XORed together, exactly as hashing.Fold describes.
+func refFold(v uint64, in, out uint) uint64 {
+	if out == 0 {
+		return 0
+	}
+	if in > 64 {
+		in = 64
+	}
+	src := refBits(refSelect(v, in), in)
+	dst := make([]uint8, out)
+	for j, b := range src {
+		dst[uint(j)%out] ^= b
+	}
+	return refJoin(dst)
+}
+
+// refGShare XORs the history register with the instruction-aligned branch
+// address, bit by bit, keeping n output bits.
+func refGShare(history, pc uint64, n uint) uint64 {
+	h := refBits(history, 64)
+	p := refBits(pc>>2, 64)
+	out := make([]uint8, n)
+	for i := uint(0); i < n && i < 64; i++ {
+		out[i] = h[i] ^ p[i]
+	}
+	return refJoin(out)
+}
+
+// refSFSX is the Sazeides & Smith Select-Fold-Shift-XOR hash written out
+// over an explicit wide bit vector: fold each target to foldBits bits,
+// place fold i at bit offset i, XOR overlaps, then XOR-reduce the
+// (foldBits+len-1)-wide accumulator into 64 bits by folding every position
+// onto position mod 64 — the definition a 64-bit register implements by
+// rotating each contribution into place.
+func refSFSX(targets []uint64, selBits, foldBits uint) uint64 {
+	if foldBits == 0 {
+		return 0
+	}
+	width := foldBits + uint(len(targets))
+	acc := make([]uint8, width)
+	for i, t := range targets {
+		f := refBits(refFold(t>>2, selBits, foldBits), foldBits)
+		for b := uint(0); b < foldBits; b++ {
+			acc[uint(i)+b] ^= f[b]
+		}
+	}
+	out := make([]uint8, 64)
+	for pos, b := range acc {
+		out[pos%64] ^= b
+	}
+	return refJoin(out)
+}
+
+// refSFSXS is the Figure 2 Select-Fold-Shift-XOR-Select mapping written out
+// over an explicit bit vector: fold each of the `order` most recent targets
+// (most recent first) to foldBits bits, place fold i at offset order-1-i,
+// XOR the placements, and select the `order` high-order bits of the
+// (foldBits+order-1)-wide result.
+func refSFSXS(targets []uint64, selBits, foldBits, order uint) uint64 {
+	if order == 0 {
+		return 0
+	}
+	n := uint(len(targets))
+	if n > order {
+		n = order
+	}
+	width := foldBits + order - 1
+	if width < order {
+		width = order
+	}
+	acc := make([]uint8, width)
+	for i := uint(0); i < n; i++ {
+		f := refBits(refFold(targets[i]>>2, selBits, foldBits), foldBits)
+		shift := order - 1 - i
+		for b := uint(0); b < foldBits; b++ {
+			acc[shift+b] ^= f[b]
+		}
+	}
+	return refJoin(acc[width-order:])
+}
+
+// refSFSXSLow is the Section 4 mirror orientation: fold i is placed at
+// offset i and the order low-order bits are selected.
+func refSFSXSLow(targets []uint64, selBits, foldBits, order uint) uint64 {
+	if order == 0 {
+		return 0
+	}
+	n := uint(len(targets))
+	if n > order {
+		n = order
+	}
+	width := foldBits + order
+	acc := make([]uint8, width)
+	for i := uint(0); i < n; i++ {
+		f := refBits(refFold(targets[i]>>2, selBits, foldBits), foldBits)
+		for b := uint(0); b < foldBits; b++ {
+			acc[i+b] ^= f[b]
+		}
+	}
+	return refJoin(acc[:order])
+}
+
+// refReverseInterleave builds the Dual-path index the way hashing's doc
+// comment describes it: fold the recorded history down to the number of
+// history positions in the 2:1 interleave pattern, then alternate folded
+// history bits (recent first) and branch-address bits from the most
+// significant output position downward.
+func refReverseInterleave(history uint64, historyBits uint, pc uint64, n uint) uint64 {
+	histPos := (n + 1) / 2
+	h := refBits(refFold(refSelect(history, historyBits), historyBits, histPos), 64)
+	p := refBits(pc>>2, 64)
+	out := make([]uint8, n)
+	hi, pi := 0, 0
+	for pos := uint(0); pos < n; pos++ {
+		var b uint8
+		if pos%2 == 0 {
+			b = h[hi]
+			hi++
+		} else {
+			b = p[pi]
+			pi++
+		}
+		out[n-1-pos] = b
+	}
+	return refJoin(out)
+}
+
+// refMix64 is the splitmix64 finalizer. Its constants are part of the
+// specification (tags and workload hashes are defined as this exact
+// bijection), so the reference repeats them verbatim rather than inventing
+// a different mixer.
+func refMix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}

@@ -1,0 +1,85 @@
+package check
+
+import (
+	"repro/internal/history"
+	"repro/internal/trace"
+)
+
+// refHistory is the naive path history register: it appends every accepted
+// target to a plain slice and recomputes its views from scratch on demand.
+// No ring buffer, no incrementally maintained packed register — the packed
+// view replays the full push sequence each time it is read, so the
+// optimized PHR's incremental state is checked against the definition.
+type refHistory struct {
+	stream     history.Stream
+	depth      int
+	bitsPer    uint
+	packedBits uint
+	all        []uint64 // every accepted target, oldest first
+}
+
+func newRefHistory(stream history.Stream, depth int, bitsPer, packedBits uint) *refHistory {
+	if packedBits > 64 {
+		packedBits = 64
+	}
+	return &refHistory{stream: stream, depth: depth, bitsPer: bitsPer, packedBits: packedBits}
+}
+
+// refAccepts restates the stream membership rules from first principles
+// (Section 4's correlation groups) instead of calling Stream.Accepts.
+func refAccepts(s history.Stream, r trace.Record) bool {
+	isIndirectJmpJsr := r.Class == trace.IndirectJmp || r.Class == trace.IndirectJsr
+	switch s {
+	case history.AllBranches:
+		return true
+	case history.IndirectBranches:
+		return isIndirectJmpJsr
+	case history.MTIndirectBranches:
+		return r.MT && isIndirectJmpJsr
+	case history.TakenBranches:
+		return r.Taken
+	}
+	return false
+}
+
+func (h *refHistory) observe(r trace.Record) {
+	if refAccepts(h.stream, r) {
+		h.all = append(h.all, r.Target)
+	}
+}
+
+// recent returns the n most recent targets, most recent first, capped by
+// both the register depth and what has been recorded so far (warm-up).
+func (h *refHistory) recent(n int) []uint64 {
+	if n > h.depth {
+		n = h.depth
+	}
+	if n > len(h.all) {
+		n = len(h.all)
+	}
+	out := make([]uint64, n)
+	for i := 0; i < n; i++ {
+		out[i] = h.all[len(h.all)-1-i]
+	}
+	return out
+}
+
+// packed replays every recorded push through the shift-register definition:
+// for each target, shift left by bitsPer, OR in the selected low target
+// bits, and truncate to packedBits.
+func (h *refHistory) packed() uint64 {
+	if h.packedBits == 0 {
+		return 0
+	}
+	var p uint64
+	for _, t := range h.all {
+		var sel uint64
+		if h.bitsPer >= 64 {
+			sel = t >> 2
+		} else {
+			sel = refSelect(t>>2, h.bitsPer)
+		}
+		p = ((p << h.bitsPer) | sel) & refMask(h.packedBits)
+	}
+	return p
+}

@@ -1,0 +1,592 @@
+package check
+
+import (
+	"repro/internal/predictor"
+	"repro/internal/trace"
+	"repro/internal/twolevel"
+)
+
+// This file holds the naive reference predictors for the non-PPM families:
+// BTB, BTB2b, GAp, Target Cache, Dual-path and Cascade. Each is a map-based
+// restatement of the hardware semantics — entries exist only once written,
+// victim selection is spelled out, histories are the naive refHistory — so
+// a lock-step disagreement with the optimized array implementations always
+// means one side has a bug. The references are measurement devices, not
+// hardware models, so their map traffic is exempt from hot-path purity
+// (//ppm:coldpath).
+
+// refHyst is the 2-bit replacement hysteresis counter written as a plain
+// state machine: new entries start weak (1), hits saturate up at 3, a miss
+// at 0 reports "replace now" and re-arms to weak.
+type refHyst struct{ v uint8 }
+
+func newRefHyst() refHyst { return refHyst{v: 1} }
+
+func (h *refHyst) hit() {
+	if h.v < 3 {
+		h.v++
+	}
+}
+
+func (h *refHyst) miss() (replace bool) {
+	if h.v == 0 {
+		h.v = 1
+		return true
+	}
+	h.v--
+	return false
+}
+
+// --- BTB / BTB2b -----------------------------------------------------------
+
+type refBTBEntry struct {
+	target uint64
+	hyst   refHyst
+}
+
+// RefBTB is the reference tagless direct-mapped BTB. Entries live in a map
+// keyed by the direct-mapped index; absence is the invalid state.
+type RefBTB struct {
+	name       string
+	size       uint64
+	hysteresis bool
+	table      map[uint64]*refBTBEntry
+	pendingIdx uint64
+}
+
+// NewRefBTB builds the reference for btb.New(entries).
+func NewRefBTB(entries int) *RefBTB {
+	return &RefBTB{name: "BTB", size: uint64(entries), table: map[uint64]*refBTBEntry{}}
+}
+
+// NewRefBTB2b builds the reference for btb.New2b(entries).
+func NewRefBTB2b(entries int) *RefBTB {
+	return &RefBTB{name: "BTB2b", size: uint64(entries), hysteresis: true, table: map[uint64]*refBTBEntry{}}
+}
+
+// Name implements predictor.IndirectPredictor.
+func (b *RefBTB) Name() string { return b.name }
+
+// Predict implements predictor.IndirectPredictor.
+//
+//ppm:coldpath
+func (b *RefBTB) Predict(pc uint64) (uint64, bool) {
+	idx := (pc >> 2) % b.size
+	b.pendingIdx = idx
+	if e := b.table[idx]; e != nil {
+		return e.target, true
+	}
+	return 0, false
+}
+
+// Update implements predictor.IndirectPredictor.
+//
+//ppm:coldpath
+func (b *RefBTB) Update(_, target uint64) {
+	e := b.table[b.pendingIdx]
+	if e == nil {
+		b.table[b.pendingIdx] = &refBTBEntry{target: target, hyst: newRefHyst()}
+		return
+	}
+	if e.target == target {
+		if b.hysteresis {
+			e.hyst.hit()
+		}
+		return
+	}
+	if !b.hysteresis {
+		e.target = target
+		return
+	}
+	if e.hyst.miss() {
+		e.target = target
+	}
+}
+
+// Observe implements predictor.IndirectPredictor; BTBs keep no history.
+//
+//ppm:coldpath
+func (b *RefBTB) Observe(trace.Record) {}
+
+// --- Target Cache ----------------------------------------------------------
+
+type refTCEntry struct {
+	tag    uint64
+	target uint64
+}
+
+// RefTargetCache is the reference Target Cache: gshare-indexed map with
+// immediate replacement (no hysteresis).
+type RefTargetCache struct {
+	cfg        twolevel.TargetCacheConfig
+	indexBits  uint
+	table      map[uint64]*refTCEntry
+	hist       *refHistory
+	pendingIdx uint64
+	pendingTag uint64
+}
+
+// NewRefTargetCache builds the reference for twolevel.NewTargetCache(cfg).
+func NewRefTargetCache(cfg twolevel.TargetCacheConfig) *RefTargetCache {
+	depth := int((cfg.HistoryBits + cfg.BitsPerTarget - 1) / cfg.BitsPerTarget)
+	if depth < 1 {
+		depth = 1
+	}
+	return &RefTargetCache{
+		cfg:       cfg,
+		indexBits: log2(cfg.Entries),
+		table:     map[uint64]*refTCEntry{},
+		hist:      newRefHistory(cfg.HistoryStream, depth, cfg.BitsPerTarget, cfg.HistoryBits),
+	}
+}
+
+// log2 returns floor(log2(n)) for the power-of-two table sizes used here.
+func log2(n int) uint {
+	bits := uint(0)
+	for s := n; s > 1; s >>= 1 {
+		bits++
+	}
+	return bits
+}
+
+// Name implements predictor.IndirectPredictor.
+func (t *RefTargetCache) Name() string {
+	if t.cfg.Name != "" {
+		return t.cfg.Name
+	}
+	return "TC"
+}
+
+// Predict implements predictor.IndirectPredictor.
+//
+//ppm:coldpath
+func (t *RefTargetCache) Predict(pc uint64) (uint64, bool) {
+	idx := refGShare(t.hist.packed(), pc, t.indexBits)
+	t.pendingIdx = idx
+	t.pendingTag = refMix64(pc>>2) >> 40
+	e := t.table[idx]
+	if e == nil {
+		return 0, false
+	}
+	if t.cfg.Tagged && e.tag != t.pendingTag {
+		return 0, false
+	}
+	return e.target, true
+}
+
+// Update implements predictor.IndirectPredictor: always install the actual
+// target.
+//
+//ppm:coldpath
+func (t *RefTargetCache) Update(_, target uint64) {
+	t.table[t.pendingIdx] = &refTCEntry{tag: t.pendingTag, target: target}
+}
+
+// Observe implements predictor.IndirectPredictor.
+//
+//ppm:coldpath
+func (t *RefTargetCache) Observe(r trace.Record) { t.hist.observe(r) }
+
+// --- PHT (reference pattern history table) ---------------------------------
+
+type refPHTEntry struct {
+	target uint64
+	hyst   refHyst
+	lru    uint64
+}
+
+// refPHT is the reference pattern history table: per-set tag maps with an
+// explicit global clock. A set holds at most assoc tags; allocation beyond
+// that evicts the tag with the smallest LRU stamp (stamps are drawn from
+// the strictly increasing clock, so the minimum is unique).
+type refPHT struct {
+	nsets  uint64
+	assoc  int
+	tagged bool
+	clock  uint64
+	sets   map[uint64]map[uint64]*refPHTEntry // set index -> tag -> entry
+	direct map[uint64]*refPHTEntry            // tagless: set index -> entry
+}
+
+func newRefPHT(entries, assoc int, tagged bool) *refPHT {
+	return &refPHT{
+		nsets:  uint64(entries / assoc),
+		assoc:  assoc,
+		tagged: tagged,
+		sets:   map[uint64]map[uint64]*refPHTEntry{},
+		direct: map[uint64]*refPHTEntry{},
+	}
+}
+
+func (t *refPHT) indexBits() uint { return log2(int(t.nsets)) }
+
+// probe returns the entry for (index, tag) without touching any state.
+func (t *refPHT) probe(index, tag uint64) *refPHTEntry {
+	set := index % t.nsets
+	if !t.tagged {
+		return t.direct[set]
+	}
+	return t.sets[set][tag]
+}
+
+// touch refreshes the LRU stamp of a tag-matching entry after a lookup hit;
+// tagless tables keep no LRU state and do not advance the clock.
+func (t *refPHT) touch(index, tag uint64) {
+	if !t.tagged {
+		return
+	}
+	t.clock++
+	if e := t.sets[index%t.nsets][tag]; e != nil {
+		e.lru = t.clock
+	}
+}
+
+func refTrain(e *refPHTEntry, target uint64) {
+	if e.target == target {
+		e.hyst.hit()
+		return
+	}
+	if e.hyst.miss() {
+		e.target = target
+	}
+}
+
+// update trains (index, tag) with the actual target. The clock advances on
+// every update, matching the hardware's per-access stamp.
+func (t *refPHT) update(index, tag, target uint64, allocate bool) {
+	t.clock++
+	set := index % t.nsets
+	if !t.tagged {
+		e := t.direct[set]
+		if e == nil {
+			if allocate {
+				t.direct[set] = &refPHTEntry{target: target, hyst: newRefHyst()}
+			}
+			return
+		}
+		refTrain(e, target)
+		return
+	}
+	ways := t.sets[set]
+	if e := ways[tag]; e != nil {
+		e.lru = t.clock
+		refTrain(e, target)
+		return
+	}
+	if !allocate {
+		return
+	}
+	if ways == nil {
+		ways = map[uint64]*refPHTEntry{}
+		t.sets[set] = ways
+	}
+	if len(ways) >= t.assoc {
+		// Evict the least recently used way. LRU stamps come from the
+		// strictly increasing clock, so the minimum is unique and the
+		// choice deterministic.
+		var victimTag uint64
+		var victimLRU uint64
+		first := true
+		for wt, we := range ways { //lint:sorted unique-minimum selection; iteration order cannot matter
+			if first || we.lru < victimLRU {
+				victimTag, victimLRU, first = wt, we.lru, false
+			}
+		}
+		delete(ways, victimTag)
+	}
+	ways[tag] = &refPHTEntry{target: target, hyst: newRefHyst(), lru: t.clock}
+}
+
+// --- GAp -------------------------------------------------------------------
+
+// RefGAp is the reference two-level GAp component.
+type RefGAp struct {
+	cfg     twolevel.GApConfig
+	tables  []*refPHT
+	hist    *refHistory
+	pending struct {
+		table *refPHT
+		index uint64
+		tag   uint64
+	}
+}
+
+func refHistoryBits(cfg twolevel.GApConfig) uint {
+	if cfg.HistoryBits != 0 {
+		return cfg.HistoryBits
+	}
+	return uint(cfg.PathLength) * cfg.BitsPerTarget
+}
+
+// NewRefGAp builds the reference for twolevel.NewGAp(cfg).
+func NewRefGAp(cfg twolevel.GApConfig) *RefGAp {
+	assoc := cfg.Assoc
+	if assoc < 1 {
+		assoc = 1
+	}
+	perTable := cfg.Entries / cfg.PHTs
+	tables := make([]*refPHT, cfg.PHTs)
+	for i := range tables {
+		tables[i] = newRefPHT(perTable, assoc, cfg.Tagged)
+	}
+	return &RefGAp{
+		cfg:    cfg,
+		tables: tables,
+		hist:   newRefHistory(cfg.HistoryStream, cfg.PathLength, cfg.BitsPerTarget, refHistoryBits(cfg)),
+	}
+}
+
+// Name implements predictor.IndirectPredictor.
+func (g *RefGAp) Name() string {
+	if g.cfg.Name != "" {
+		return g.cfg.Name
+	}
+	return "GAp"
+}
+
+func (g *RefGAp) index(pc uint64) (*refPHT, uint64, uint64) {
+	tsel := uint64(0)
+	if len(g.tables) > 1 {
+		tsel = (pc >> 2) % uint64(len(g.tables))
+	}
+	table := g.tables[tsel]
+	bits := table.indexBits()
+	var idx uint64
+	switch {
+	case g.cfg.Tagged:
+		idx = refFold(g.hist.packed(), refHistoryBits(g.cfg), bits)
+	case g.cfg.Indexing == twolevel.GShare:
+		idx = refGShare(g.hist.packed(), pc, bits)
+	default:
+		idx = refReverseInterleave(g.hist.packed(), refHistoryBits(g.cfg), pc, bits)
+	}
+	tag := refMix64(pc>>2) >> 40
+	return table, idx, tag
+}
+
+// Predict implements predictor.IndirectPredictor.
+//
+//ppm:coldpath
+func (g *RefGAp) Predict(pc uint64) (uint64, bool) {
+	table, idx, tag := g.index(pc)
+	g.pending.table, g.pending.index, g.pending.tag = table, idx, tag
+	if e := table.probe(idx, tag); e != nil {
+		table.touch(idx, tag)
+		return e.target, true
+	}
+	return 0, false
+}
+
+// Update implements predictor.IndirectPredictor.
+//
+//ppm:coldpath
+func (g *RefGAp) Update(_, target uint64) { g.updateAlloc(target, true) }
+
+func (g *RefGAp) updateAlloc(target uint64, allocate bool) {
+	g.pending.table.update(g.pending.index, g.pending.tag, target, allocate)
+}
+
+// Observe implements predictor.IndirectPredictor.
+//
+//ppm:coldpath
+func (g *RefGAp) Observe(r trace.Record) { g.hist.observe(r) }
+
+// --- Dual-path -------------------------------------------------------------
+
+// RefDualPath is the reference Dual-path hybrid: two RefGAp components and
+// a map of 2-bit tournament counters (absent = the power-up value 2,
+// weakly preferring the long component).
+type RefDualPath struct {
+	short, long  *RefGAp
+	numSelectors uint64
+	selectors    map[uint64]uint8
+	pending      struct {
+		selIdx            uint64
+		shortTgt, longTgt uint64
+		shortOK, longOK   bool
+	}
+}
+
+// NewRefDualPath builds the reference for twolevel.NewDualPath(cfg).
+func NewRefDualPath(cfg twolevel.DualPathConfig) *RefDualPath {
+	return &RefDualPath{
+		short:        NewRefGAp(cfg.Short),
+		long:         NewRefGAp(cfg.Long),
+		numSelectors: uint64(cfg.Selectors),
+		selectors:    map[uint64]uint8{},
+	}
+}
+
+// Name implements predictor.IndirectPredictor.
+func (d *RefDualPath) Name() string { return "Dpath" }
+
+func (d *RefDualPath) selector(idx uint64) uint8 {
+	if v, ok := d.selectors[idx]; ok {
+		return v
+	}
+	return 2
+}
+
+// Predict implements predictor.IndirectPredictor: prefer the selected
+// component, fall back to the other on a table miss.
+//
+//ppm:coldpath
+func (d *RefDualPath) Predict(pc uint64) (uint64, bool) {
+	sTgt, sOK := d.short.Predict(pc)
+	lTgt, lOK := d.long.Predict(pc)
+	selIdx := (pc >> 2) % d.numSelectors
+	chooseLong := d.selector(selIdx) >= 2
+
+	p := &d.pending
+	p.selIdx, p.shortTgt, p.longTgt, p.shortOK, p.longOK = selIdx, sTgt, lTgt, sOK, lOK
+
+	switch {
+	case chooseLong && lOK:
+		return lTgt, true
+	case chooseLong && sOK:
+		return sTgt, true
+	case !chooseLong && sOK:
+		return sTgt, true
+	case lOK:
+		return lTgt, true
+	}
+	return 0, false
+}
+
+// Update implements predictor.IndirectPredictor.
+//
+//ppm:coldpath
+func (d *RefDualPath) Update(pc, target uint64) { d.updateAlloc(pc, target, true) }
+
+func (d *RefDualPath) updateAlloc(pc, target uint64, allocate bool) {
+	p := &d.pending
+	shortRight := p.shortOK && p.shortTgt == target
+	longRight := p.longOK && p.longTgt == target
+	if shortRight != longRight {
+		v := d.selector(p.selIdx)
+		if longRight {
+			if v < 3 {
+				v++
+			}
+		} else if v > 0 {
+			v--
+		}
+		d.selectors[p.selIdx] = v
+	}
+	d.short.updateAlloc(target, allocate)
+	d.long.updateAlloc(target, allocate)
+}
+
+// Observe implements predictor.IndirectPredictor.
+//
+//ppm:coldpath
+func (d *RefDualPath) Observe(r trace.Record) {
+	d.short.Observe(r)
+	d.long.Observe(r)
+}
+
+// --- Cascade ---------------------------------------------------------------
+
+type refFilterEntry struct {
+	tag    uint64
+	target uint64
+	poly   bool
+	hyst   refHyst
+}
+
+// RefCascade is the reference Cascade predictor: a map-based leaky filter
+// in front of a reference Dual-path main predictor.
+type RefCascade struct {
+	filterSize uint64
+	strict     bool
+	filter     map[uint64]*refFilterEntry
+	main       *RefDualPath
+	pending    struct {
+		fIdx    uint64
+		fTag    uint64
+		fHit    bool
+		fTarget uint64
+		mainOK  bool
+	}
+}
+
+// NewRefCascade builds the reference for cascade.New with the given filter
+// size, policy and main configuration.
+func NewRefCascade(filterEntries int, strict bool, main twolevel.DualPathConfig) *RefCascade {
+	return &RefCascade{
+		filterSize: uint64(filterEntries),
+		strict:     strict,
+		filter:     map[uint64]*refFilterEntry{},
+		main:       NewRefDualPath(main),
+	}
+}
+
+// Name implements predictor.IndirectPredictor.
+func (c *RefCascade) Name() string { return "Cascade" }
+
+// Predict implements predictor.IndirectPredictor: main predictor first on a
+// tag hit, filter second.
+//
+//ppm:coldpath
+func (c *RefCascade) Predict(pc uint64) (uint64, bool) {
+	mTgt, mOK := c.main.Predict(pc)
+	fIdx := (pc >> 2) % c.filterSize
+	fTag := refMix64(pc>>2) >> 40
+	fe := c.filter[fIdx]
+	fHit := fe != nil && fe.tag == fTag
+
+	p := &c.pending
+	p.fIdx, p.fTag, p.fHit = fIdx, fTag, fHit
+	p.fTarget = 0
+	if fe != nil {
+		p.fTarget = fe.target
+	}
+	p.mainOK = mOK
+
+	if mOK {
+		return mTgt, true
+	}
+	if fHit && !(c.strict && fe.poly) {
+		return fe.target, true
+	}
+	return 0, false
+}
+
+// Update implements predictor.IndirectPredictor: the main tables only train
+// when the filter proved unable to predict the branch (the leak), and the
+// filter trains like a tagged BTB2b whose misses brand the branch
+// polymorphic.
+//
+//ppm:coldpath
+func (c *RefCascade) Update(pc, target uint64) {
+	p := &c.pending
+	fe := c.filter[p.fIdx]
+
+	filterWrong := !p.fHit || p.fTarget != target
+	c.main.updateAlloc(pc, target, filterWrong)
+
+	switch {
+	case fe == nil || fe.tag != p.fTag:
+		c.filter[p.fIdx] = &refFilterEntry{tag: p.fTag, target: target, hyst: newRefHyst()}
+	case fe.target == target:
+		fe.hyst.hit()
+	default:
+		fe.poly = true
+		if fe.hyst.miss() {
+			fe.target = target
+		}
+	}
+}
+
+// Observe implements predictor.IndirectPredictor.
+//
+//ppm:coldpath
+func (c *RefCascade) Observe(r trace.Record) { c.main.Observe(r) }
+
+var (
+	_ predictor.IndirectPredictor = (*RefBTB)(nil)
+	_ predictor.IndirectPredictor = (*RefTargetCache)(nil)
+	_ predictor.IndirectPredictor = (*RefGAp)(nil)
+	_ predictor.IndirectPredictor = (*RefDualPath)(nil)
+	_ predictor.IndirectPredictor = (*RefCascade)(nil)
+)

@@ -1,0 +1,53 @@
+package check
+
+import "repro/internal/trace"
+
+// Shrink minimizes a failing record sequence with delta debugging (ddmin):
+// remove progressively finer-grained chunks as long as the failure
+// predicate keeps holding, finishing at single-record granularity. The
+// result is 1-minimal with respect to chunk removal: deleting any single
+// remaining record makes the failure disappear. fails must be
+// deterministic; the shrinker calls it O(n log n) times in the typical
+// case, O(n^2) worst case.
+//
+// Shrink never mutates the input slice and returns a fresh slice. If the
+// input does not fail in the first place it is returned (copied) unchanged.
+func Shrink(recs []trace.Record, fails func([]trace.Record) bool) []trace.Record {
+	cur := append([]trace.Record(nil), recs...)
+	if !fails(cur) {
+		return cur
+	}
+	n := 2
+	for len(cur) >= 2 {
+		chunk := (len(cur) + n - 1) / n
+		reduced := false
+		for start := 0; start < len(cur); start += chunk {
+			end := start + chunk
+			if end > len(cur) {
+				end = len(cur)
+			}
+			cand := make([]trace.Record, 0, len(cur)-(end-start))
+			cand = append(cand, cur[:start]...)
+			cand = append(cand, cur[end:]...)
+			if len(cand) > 0 && fails(cand) {
+				cur = cand
+				if n > 2 {
+					n--
+				}
+				reduced = true
+				break
+			}
+		}
+		if reduced {
+			continue
+		}
+		if n >= len(cur) {
+			break
+		}
+		n *= 2
+		if n > len(cur) {
+			n = len(cur)
+		}
+	}
+	return cur
+}

@@ -11,6 +11,8 @@
 // simulation loop.
 package hashing
 
+import "math/bits"
+
 // Mask returns a mask of the n low-order bits. n must be <= 64.
 //
 //ppm:hotpath
@@ -58,14 +60,19 @@ func GShare(history, pc uint64, n uint) uint64 {
 // SFSX computes the Select-Fold-Shift-XOR hash over a path of targets.
 // targets[0] is the most recent target. For each target i the selBits
 // low-order bits are selected, folded to foldBits bits, shifted left by i,
-// and XORed into the accumulator. The result occupies at most
-// foldBits+len(targets)-1 bits.
+// and XORed into the accumulator. The conceptual accumulator is
+// foldBits+len(targets)-1 bits wide; bit positions past 63 wrap around
+// (the shift is a 64-bit rotation), XOR-reducing the wide hash modulo 64
+// so every path entry contributes no matter how long the path is. For
+// paths where foldBits+len(targets)-1 <= 64 — every configuration in this
+// repository — the wrap never engages and the result is the plain
+// shift-XOR hash.
 //
 //ppm:hotpath
 func SFSX(targets []uint64, selBits, foldBits uint) uint64 {
 	var h uint64
 	for i, t := range targets {
-		h ^= Fold(t>>2, selBits, foldBits) << uint(i)
+		h ^= bits.RotateLeft64(Fold(t>>2, selBits, foldBits), i&63)
 	}
 	return h
 }

@@ -108,6 +108,29 @@ func TestSFSXDistinctShifts(t *testing.T) {
 	}
 }
 
+func TestSFSXLongPathContributes(t *testing.T) {
+	// Regression: contributions from path entries at index >= 64 used to be
+	// shifted out of the 64-bit accumulator entirely (<<i with i >= 64 is 0
+	// in Go), so arbitrarily long paths silently degenerated to their first
+	// 64 entries. The rotation-based accumulator keeps every entry live:
+	// changing a deep entry must be able to change the hash.
+	ts := make([]uint64, 70)
+	for i := range ts {
+		ts[i] = Mix64(uint64(i)) &^ 3
+	}
+	base := SFSX(ts, 10, 5)
+	ts[69] ^= 1 << 4 // flip a selected bit of the deepest entry
+	if SFSX(ts, 10, 5) == base {
+		t.Error("path entry 69 does not reach the SFSX hash — long-path contributions lost")
+	}
+	// And the wrap must not perturb short paths: positions below 64 behave
+	// exactly as the plain shift (spot-checked against the wide definition).
+	short := []uint64{0x40, 0}
+	if SFSX(short, 10, 5) != Fold(0x40>>2, 10, 5)<<0^Fold(0, 10, 5)<<1 {
+		t.Error("short-path SFSX changed: rotation must equal shift below bit 64")
+	}
+}
+
 func TestSFSXSRange(t *testing.T) {
 	f := func(t0, t1, t2 uint64, orderRaw uint8) bool {
 		order := uint(orderRaw%10) + 1

@@ -194,20 +194,35 @@ func truncated(err error) error {
 // SetSizeHint tells the reader how many records remain in the stream, when
 // the caller knows (a Writer.Count from the producing side, a record count
 // carried out of band). ReadAll preallocates its result to the hint, so an
-// accurate hint makes draining the trace reallocation-free.
+// accurate hint makes draining the trace reallocation-free. The hint is
+// advisory and untrusted: a hint may arrive from the far side of a network
+// boundary, so ReadAll caps the upfront allocation no matter how large the
+// hint claims the stream is.
 func (r *Reader) SetSizeHint(n int) {
 	if n > 0 {
 		r.hint = n
 	}
 }
 
+// maxReadAllPrealloc caps the initial ReadAll allocation, in records. A
+// size hint is a claim, not a measurement — an adversarial or corrupt hint
+// of billions of records must not translate into an out-of-memory upfront
+// allocation for a three-record stream. Streams genuinely longer than the
+// cap grow normally from there (amortized append), so honest hints beyond
+// the cap lose only the reallocation-free guarantee, never data.
+const maxReadAllPrealloc = 1 << 20
+
 // ReadAll drains the reader into a slice, preallocated from the size hint
-// when one was set. Intended for tests and moderate trace sizes; large
-// traces should be streamed with Read.
+// when one was set (capped at maxReadAllPrealloc records). Intended for
+// tests and moderate trace sizes; large traces should be streamed with
+// Read.
 func (r *Reader) ReadAll() ([]Record, error) {
 	capacity := r.hint
 	if capacity <= 0 {
 		capacity = 1024
+	}
+	if capacity > maxReadAllPrealloc {
+		capacity = maxReadAllPrealloc
 	}
 	recs := make([]Record, 0, capacity)
 	for {

@@ -384,3 +384,44 @@ func TestReadAllSizeHintAvoidsReallocation(t *testing.T) {
 		t.Fatalf("short-hint drain: %d records, err %v", len(short), err)
 	}
 }
+
+// TestReadAllAdversarialSizeHint pins the fix for the unclamped-hint OOM:
+// a hint claiming multiple GiB of records over a 3-record stream used to
+// translate directly into make([]Record, 0, hint) — tens of GiB for a
+// 56-byte Record — before a single byte was decoded. The preallocation must
+// stay bounded regardless of the hint, and the stream must still drain
+// fully.
+func TestReadAllAdversarialSizeHint(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := w.Write(Record{PC: 0x1000 + uint64(i)*4, Target: 0x9000, Class: IndirectJmp, Taken: true, MT: true}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := NewReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A trillion-record claim (2^40): tens of TiB of Records if honored.
+	// If the clamp regresses, this test dies with OOM rather than failing
+	// an assertion — either way CI catches it.
+	r.SetSizeHint(1 << 40)
+	got, err := r.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("read %d records, want 3", len(got))
+	}
+	if cap(got) > maxReadAllPrealloc {
+		t.Errorf("cap %d exceeds the preallocation clamp %d", cap(got), maxReadAllPrealloc)
+	}
+}

@@ -36,13 +36,16 @@ type Stats struct {
 	Misses    uint64
 	Generated uint64
 	Evicted   uint64
-	Bytes     int64 // resident record bytes
-	Entries   int
+	// Oversize counts traces larger than the whole budget: they are served
+	// to their waiters but never become resident (see Get).
+	Oversize uint64
+	Bytes    int64 // resident record bytes
+	Entries  int
 }
 
 func (s Stats) String() string {
-	return fmt.Sprintf("hits=%d misses=%d generated=%d evicted=%d entries=%d bytes=%d",
-		s.Hits, s.Misses, s.Generated, s.Evicted, s.Entries, s.Bytes)
+	return fmt.Sprintf("hits=%d misses=%d generated=%d evicted=%d oversize=%d entries=%d bytes=%d",
+		s.Hits, s.Misses, s.Generated, s.Evicted, s.Oversize, s.Entries, s.Bytes)
 }
 
 // entry is one cached trace. recs and sum are written exactly once, before
@@ -140,9 +143,20 @@ func (c *Cache) Get(cfg workload.Config) ([]trace.Record, workload.Summary) {
 	// while it was generating; only a still-mapped entry joins the LRU
 	// list and the byte accounting.
 	if c.entries[key] == e {
-		c.stats.Bytes += e.bytes
-		c.pushFront(e)
-		c.evictOver()
+		if c.budget > 0 && e.bytes > c.budget {
+			// The trace alone exceeds the whole budget. Making it resident
+			// would force evictOver to flush every smaller entry first and
+			// then evict the newcomer itself on the next insert — thrashing
+			// the cache without the big trace ever being a useful resident.
+			// Serve it to the waiters who already hold e.ready and forget
+			// it; it never enters the LRU list or the byte accounting.
+			delete(c.entries, key)
+			c.stats.Oversize++
+		} else {
+			c.stats.Bytes += e.bytes
+			c.pushFront(e)
+			c.evictOver()
+		}
 	}
 	c.mu.Unlock()
 	return e.recs, e.sum

@@ -190,3 +190,56 @@ func TestConcurrentGetEvict(t *testing.T) {
 		t.Errorf("resident bytes %d drifted outside budget %d", st.Bytes, c.budget)
 	}
 }
+
+// TestOversizeEntryServedWithoutResidency pins the oversized-entry fix: a
+// trace bigger than the entire budget used to join the LRU list, and the
+// accounting pass then flushed every smaller resident entry before evicting
+// the newcomer itself on the next insert — the small entries paid for a
+// resident that could never help anyone. An oversized trace must be served
+// to its callers (correct data, no error) without ever becoming resident or
+// disturbing the entries that do fit.
+func TestOversizeEntryServedWithoutResidency(t *testing.T) {
+	small := testConfig(1, 100)
+	big := testConfig(2, 4000)
+	smallRecs, _ := New(0).Get(small)
+	bigRecs, _ := New(0).Get(big)
+	smallBytes := int64(cap(smallRecs)) * recordBytes
+	bigBytes := int64(cap(bigRecs)) * recordBytes
+	if bigBytes <= 2*smallBytes {
+		t.Fatalf("test setup: big trace (%d bytes) not big enough vs small (%d)", bigBytes, smallBytes)
+	}
+
+	// Budget fits a few small entries but not the big one.
+	c := New(3 * smallBytes)
+	c.Get(small)
+	want, wantSum := big.Records()
+
+	for pass := 0; pass < 2; pass++ {
+		got, sum := c.Get(big)
+		if len(got) != len(want) || sum.Records != wantSum.Records {
+			t.Fatalf("pass %d: oversized trace served wrong: %d records, want %d", pass, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("pass %d: oversized record %d differs", pass, i)
+			}
+		}
+	}
+
+	st := c.Stats()
+	if st.Oversize != 2 {
+		t.Errorf("oversize count %d, want 2 (one per Get of the big trace)", st.Oversize)
+	}
+	if st.Evicted != 0 {
+		t.Errorf("oversized trace evicted %d resident entries; must not touch them", st.Evicted)
+	}
+	if st.Entries != 1 || st.Bytes != smallBytes {
+		t.Errorf("residency after oversized Gets: %d entries / %d bytes, want the small entry alone (%d bytes)", st.Entries, st.Bytes, smallBytes)
+	}
+	// The small entry must still be a hit — it was never flushed.
+	hitsBefore := st.Hits
+	c.Get(small)
+	if got := c.Stats().Hits - hitsBefore; got != 1 {
+		t.Errorf("small entry lost from cache (hits delta %d, want 1)", got)
+	}
+}
