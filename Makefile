@@ -4,7 +4,7 @@
 GO      ?= go
 FUZZTIME ?= 30s
 
-.PHONY: all build test race lint fmt vet ppmlint escapes-check escapes-update bench bench-experiments parallel-smoke serve-smoke check-quick check fuzz-smoke ci
+.PHONY: all build test race lint fmt vet ppmlint lint-concurrency escapes-check escapes-update bench bench-experiments parallel-smoke serve-smoke check-quick check fuzz-smoke ci
 
 all: build
 
@@ -25,10 +25,16 @@ fmt:
 vet:
 	$(GO) vet ./...
 
-# The repository's own analyzers: determinism, hotpath, ifaceassert,
-# ifacecall, panicdoc, pow2mask.
+# The repository's own analyzers: ctxflow, determinism, golifetime, hotpath,
+# ifaceassert, ifacecall, lockorder, mustclose, panicdoc, pow2mask.
 ppmlint:
 	$(GO) run ./cmd/ppmlint ./...
+
+# Just the concurrency-discipline analyzers — goroutine lifetimes, context
+# flow, lock ordering, unchecked cleanup errors — for a fast pre-commit pass
+# and a named CI step. `make ppmlint` (via `make lint`) runs them too.
+lint-concurrency:
+	$(GO) run ./cmd/ppmlint -run golifetime,ctxflow,lockorder,mustclose ./...
 
 # Compiler escape-budget gate over the hot-path packages: fails when any of
 # them gains a heap escape beyond internal/lint/escapes.baseline.
@@ -86,4 +92,4 @@ check:
 fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzReader -fuzztime=$(FUZZTIME) ./internal/trace
 
-ci: build lint escapes-check race parallel-smoke serve-smoke check-quick fuzz-smoke
+ci: build lint lint-concurrency escapes-check race parallel-smoke serve-smoke check-quick fuzz-smoke

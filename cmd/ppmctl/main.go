@@ -221,7 +221,7 @@ func (c *client) upload(path, suite, predictors, label string, stdout, stderr io
 	if err != nil {
 		return fail(stderr, err)
 	}
-	defer f.Close()
+	defer f.Close() //lint:closeerr read-only trace input; Close cannot lose data
 	url := c.base + "/v1/jobs?suite=" + suite
 	for _, p := range strings.Split(predictors, ",") {
 		if p != "" {

@@ -15,6 +15,17 @@
 //	             annotations (//lint:coldpath escapes cold branches)
 //	ifacecall    no loop-carried interface dispatch on hot paths when the
 //	             concrete type is provably unique (//lint:dynamic escapes)
+//	golifetime   every go statement has a provable termination signal —
+//	             context, WaitGroup, or channel receive (//ppm:daemon
+//	             annotates process-lifetime goroutines, with a reason)
+//	ctxflow      ctx-receiving functions thread their ctx; Background/TODO
+//	             banned outside package main (//lint:rootctx escapes
+//	             genuine roots)
+//	lockorder    per-package mutex-acquisition graph: ordering cycles and
+//	             locks held across blocking operations (//lint:lockheld
+//	             escapes a justified blocking op)
+//	mustclose    Close/Flush/Shutdown/Sync error returns must be checked
+//	             or explicitly discarded (//lint:closeerr escapes)
 //
 // ppmlint prints each finding as file:line:col: message [analyzer] and exits
 // non-zero when there are findings, so `make lint` and CI fail on them.
@@ -27,19 +38,27 @@ import (
 	"strings"
 
 	"repro/internal/lint"
+	"repro/internal/lint/ctxflow"
 	"repro/internal/lint/determinism"
+	"repro/internal/lint/golifetime"
 	"repro/internal/lint/hotpath"
 	"repro/internal/lint/ifaceassert"
 	"repro/internal/lint/ifacecall"
+	"repro/internal/lint/lockorder"
+	"repro/internal/lint/mustclose"
 	"repro/internal/lint/panicdoc"
 	"repro/internal/lint/pow2mask"
 )
 
 var analyzers = []*lint.Analyzer{
+	ctxflow.Analyzer,
 	determinism.Analyzer,
+	golifetime.Analyzer,
 	hotpath.Analyzer,
 	ifaceassert.Analyzer,
 	ifacecall.Analyzer,
+	lockorder.Analyzer,
+	mustclose.Analyzer,
 	panicdoc.Analyzer,
 	pow2mask.Analyzer,
 }

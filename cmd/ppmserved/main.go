@@ -15,6 +15,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"expvar"
 	"flag"
 	"fmt"
@@ -37,6 +38,10 @@ func main() {
 // publishOnce guards the process-global expvar registry, which panics on a
 // duplicate name; tests call run more than once per process.
 var publishOnce sync.Once
+
+// errDrainElapsed is the cause carried by the drain context's deadline, so
+// context.Cause names the drain budget rather than a bare DeadlineExceeded.
+var errDrainElapsed = errors.New("ppmserved: drain timeout elapsed")
 
 // run starts the daemon and blocks until a shutdown signal or listener
 // failure. ready, when non-nil, receives the bound address once the server
@@ -86,6 +91,7 @@ func run(args []string, stderr io.Writer, ready chan<- net.Addr) int {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	serveErr := make(chan error, 1)
+	//ppm:daemon bounded by the listener: Serve returns when Shutdown/Close closes ln, and the send is buffered
 	go func() { serveErr <- hs.Serve(ln) }()
 
 	select {
@@ -97,7 +103,9 @@ func run(args []string, stderr io.Writer, ready chan<- net.Addr) int {
 	stop() // a second signal kills immediately instead of re-draining
 
 	fmt.Fprintf(stderr, "ppmserved: draining (timeout %s)\n", *drainTimeout)
-	dctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	// Carry an explicit cause so anything inspecting context.Cause on the
+	// drain context sees the drain budget, not a bare DeadlineExceeded.
+	dctx, cancel := context.WithTimeoutCause(context.Background(), *drainTimeout, errDrainElapsed)
 	defer cancel()
 	code := 0
 	if err := srv.Shutdown(dctx); err != nil {
@@ -109,7 +117,7 @@ func run(args []string, stderr io.Writer, ready chan<- net.Addr) int {
 	hctx, hcancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer hcancel()
 	if err := hs.Shutdown(hctx); err != nil {
-		hs.Close()
+		_ = hs.Close() // best effort; the graceful path already failed
 	}
 	fmt.Fprintln(stderr, "ppmserved: stopped")
 	return code

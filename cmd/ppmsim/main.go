@@ -56,7 +56,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		defer f.Close()
+		defer f.Close() //lint:closeerr read-only trace input; Close cannot lose data
 		r, err := trace.NewReader(f)
 		if err != nil {
 			fatal(err)

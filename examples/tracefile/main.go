@@ -44,7 +44,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer g.Close()
+	defer g.Close() //lint:closeerr reopened read-only for replay; Close cannot lose data
 	replayed, err := indirect.ReadTrace(g)
 	if err != nil {
 		log.Fatal(err)

@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/bench"
 	"repro/internal/check/faultio"
+	"repro/internal/check/leakcheck"
 	"repro/internal/serve"
 	"repro/internal/sim"
 	"repro/internal/stats"
@@ -164,6 +165,9 @@ func UploadTruncationSweep(recs []trace.Record, predictorName string) (*ServeSwe
 		serial[i+1] = e.Counters()[0]
 	}
 
+	// Snapshot goroutines before the server exists: after the sweep and an
+	// explicit shutdown, everything the server spawned must be gone.
+	before := leakcheck.Take()
 	srv, ts, shutdown := startServer()
 	defer shutdown()
 	url := ts.URL + "/v1/jobs?predictor=" + predictorName
@@ -224,6 +228,14 @@ func UploadTruncationSweep(recs []trace.Record, predictorName string) (*ServeSwe
 		return nil, fmt.Errorf("upload sweep: server counted %d bad uploads, harness rejected %d", st.BadUploads, report.Rejected)
 	}
 	report.Stats = st
+
+	// Drain the server (idempotent; the defer becomes a no-op) and verify
+	// every goroutine it spawned — workers, janitor, drain helpers — exited.
+	shutdown()
+	if leaked := before.Leaked(); len(leaked) > 0 {
+		return nil, fmt.Errorf("upload sweep: %d goroutine(s) leaked past shutdown:\n%s",
+			len(leaked), strings.Join(leaked, "\n"))
+	}
 	return report, nil
 }
 

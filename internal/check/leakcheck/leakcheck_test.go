@@ -1,0 +1,82 @@
+package leakcheck
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestDetectsLeak parks a goroutine on a channel, confirms a short-window
+// check reports it, releases it, and confirms the report clears.
+func TestDetectsLeak(t *testing.T) {
+	before := Take()
+
+	release := make(chan struct{})
+	started := make(chan struct{})
+	go func() {
+		close(started)
+		<-release
+	}()
+	<-started
+
+	leaked := before.LeakedWithin(50 * time.Millisecond)
+	if len(leaked) != 1 {
+		t.Fatalf("LeakedWithin reported %d goroutines, want 1:\n%s", len(leaked), strings.Join(leaked, "\n"))
+	}
+	if !strings.Contains(leaked[0], "leakcheck.TestDetectsLeak") {
+		t.Errorf("leaked stack does not point at the spawner:\n%s", leaked[0])
+	}
+
+	close(release)
+	if leaked := before.Leaked(); len(leaked) != 0 {
+		t.Errorf("after release, Leaked reported %d goroutines, want 0:\n%s", len(leaked), strings.Join(leaked, "\n"))
+	}
+}
+
+// TestSettleWindow verifies a goroutine that exits shortly after the first
+// probe is not reported: the retry loop must observe the exit.
+func TestSettleWindow(t *testing.T) {
+	before := Take()
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		time.Sleep(30 * time.Millisecond)
+	}()
+
+	if leaked := before.LeakedWithin(2 * time.Second); len(leaked) != 0 {
+		t.Errorf("slow-exiting goroutine reported as leak:\n%s", strings.Join(leaked, "\n"))
+	}
+	wg.Wait()
+}
+
+// TestPreexistingIgnored confirms goroutines alive before the snapshot are
+// never charged to the checked region.
+func TestPreexistingIgnored(t *testing.T) {
+	release := make(chan struct{})
+	started := make(chan struct{})
+	go func() {
+		close(started)
+		<-release
+	}()
+	<-started
+	defer close(release)
+
+	before := Take()
+	if leaked := before.LeakedWithin(50 * time.Millisecond); len(leaked) != 0 {
+		t.Errorf("pre-existing goroutine reported as leak:\n%s", strings.Join(leaked, "\n"))
+	}
+}
+
+// TestCheckPasses exercises the testing.TB integration on a clean body.
+func TestCheckPasses(t *testing.T) {
+	Check(t)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+	}()
+	wg.Wait()
+}

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"sync"
 	"time"
 
 	"repro/internal/bench"
@@ -252,7 +253,8 @@ func encodeTrace(recs []trace.Record) ([]byte, error) {
 }
 
 // startServer boots a serve.Server on an httptest listener with quick-test
-// sizing; the returned shutdown drains it.
+// sizing; the returned shutdown drains it. Shutdown is idempotent so sweeps
+// can both defer it (error paths) and call it explicitly before leak checks.
 func startServer() (*serve.Server, *httptest.Server, func()) {
 	s := serve.New(serve.Config{
 		MaxConcurrent: 2,
@@ -260,11 +262,15 @@ func startServer() (*serve.Server, *httptest.Server, func()) {
 		JobTimeout:    time.Minute,
 	})
 	ts := httptest.NewServer(s.Handler())
+	var once sync.Once
 	return s, ts, func() {
-		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
-		defer cancel()
-		_ = s.Shutdown(ctx)
-		ts.Close()
+		once.Do(func() {
+			//lint:rootctx harness-owned shutdown deadline; no caller context exists
+			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			defer cancel()
+			_ = s.Shutdown(ctx)
+			ts.Close()
+		})
 	}
 }
 

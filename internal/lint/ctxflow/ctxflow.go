@@ -1,0 +1,156 @@
+// Package ctxflow enforces context threading discipline: cancellation must
+// flow from the caller down, never be re-rooted mid-stack. A dropped
+// context is how a drain deadline or client cancel silently stops reaching
+// a goroutine — the bug class golifetime's termination-signal check assumes
+// away.
+//
+// Three rules:
+//
+//   - context.Background() and context.TODO() are banned outside package
+//     main. A library that needs a root context is making a claim — "this
+//     work is detached from every caller by design" — and must state it
+//     with `//lint:rootctx <reason>` on the call's line or the line above
+//     (the serve job table, whose jobs outlive the submitting request, is
+//     the canonical escape).
+//   - inside a function that already receives a context.Context,
+//     Background/TODO is banned everywhere, package main included: the
+//     function holds a context and must derive from it.
+//   - a named, non-blank context.Context parameter that the function body
+//     never references is a dropped context; thread it into callees or
+//     rename it to _ to document that the signature is interface-imposed.
+package ctxflow
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/lint"
+)
+
+// RootctxDirective justifies a fresh root context outside main.
+const RootctxDirective = "rootctx"
+
+// Analyzer reports dropped or re-rooted contexts.
+var Analyzer = &lint.Analyzer{
+	Name: "ctxflow",
+	Doc: "context.Background()/TODO() are banned outside package main " +
+		"(escape: //lint:rootctx <reason>) and everywhere inside a function " +
+		"that already receives a ctx; a ctx parameter the body never uses is " +
+		"a dropped context",
+	Run: run,
+}
+
+func run(pass *lint.Pass) error {
+	for _, file := range pass.Files {
+		escapes := lint.EscapeLines(pass.Fset, file, RootctxDirective)
+		lint.WalkStack(file, func(n ast.Node, stack []ast.Node) {
+			switch x := n.(type) {
+			case *ast.CallExpr:
+				checkRootCall(pass, x, stack, escapes)
+			case *ast.FuncDecl:
+				checkUnusedParam(pass, x)
+			}
+		})
+	}
+	return nil
+}
+
+// checkRootCall flags context.Background()/TODO() call sites.
+func checkRootCall(pass *lint.Pass, call *ast.CallExpr, stack []ast.Node, escapes map[int]bool) {
+	fn, ok := lint.ObjectOf(pass.TypesInfo, call.Fun).(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "context" {
+		return
+	}
+	name := fn.Name()
+	if name != "Background" && name != "TODO" {
+		return
+	}
+	if enclosingHasCtx(pass.TypesInfo, stack) {
+		pass.Reportf(call.Pos(), "context.%s() inside a function that receives a context.Context; derive from the parameter instead of re-rooting", name)
+		return
+	}
+	if pass.Pkg.Name() == "main" {
+		return
+	}
+	if lint.Escaped(pass.Fset, escapes, call.Pos()) {
+		return
+	}
+	pass.Reportf(call.Pos(), "context.%s() outside package main; accept a ctx from the caller or annotate //lint:rootctx <reason>", name)
+}
+
+// enclosingHasCtx reports whether the innermost enclosing function literal
+// or declaration takes a context.Context parameter.
+func enclosingHasCtx(info *types.Info, stack []ast.Node) bool {
+	for i := len(stack) - 1; i >= 0; i-- {
+		var ft *ast.FuncType
+		switch f := stack[i].(type) {
+		case *ast.FuncLit:
+			ft = f.Type
+		case *ast.FuncDecl:
+			ft = f.Type
+		default:
+			continue
+		}
+		if ft.Params != nil {
+			for _, field := range ft.Params.List {
+				if isContext(info.TypeOf(field.Type)) {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	return false
+}
+
+// checkUnusedParam flags named context parameters the body never reads.
+func checkUnusedParam(pass *lint.Pass, fd *ast.FuncDecl) {
+	if fd.Body == nil || fd.Type.Params == nil {
+		return
+	}
+	for _, field := range fd.Type.Params.List {
+		if !isContext(pass.TypesInfo.TypeOf(field.Type)) {
+			continue
+		}
+		for _, name := range field.Names {
+			if name.Name == "_" {
+				continue
+			}
+			obj := pass.TypesInfo.ObjectOf(name)
+			if obj == nil {
+				continue
+			}
+			if !bodyUses(pass.TypesInfo, fd.Body, obj) {
+				pass.Reportf(name.Pos(), "context parameter %s is never used: the caller's cancellation stops here; thread it into callees or rename it to _", name.Name)
+			}
+		}
+	}
+}
+
+// bodyUses reports whether any identifier in body resolves to obj.
+func bodyUses(info *types.Info, body *ast.BlockStmt, obj types.Object) bool {
+	used := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if used {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok && info.Uses[id] == obj {
+			used = true
+		}
+		return !used
+	})
+	return used
+}
+
+// isContext reports whether t is context.Context.
+func isContext(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}

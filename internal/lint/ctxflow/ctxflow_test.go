@@ -1,0 +1,11 @@
+package ctxflow
+
+import (
+	"testing"
+
+	"repro/internal/lint/linttest"
+)
+
+func TestCtxflow(t *testing.T) {
+	linttest.Run(t, Analyzer, "testdata/src/a")
+}

@@ -1,0 +1,71 @@
+// Package a is the ctxflow fixture: re-rooted contexts, dropped context
+// parameters, and the //lint:rootctx escape.
+package a
+
+import (
+	"context"
+	"time"
+)
+
+// reroots builds a fresh root even though it was handed a context. The
+// dropped parameter is its own finding on top of the re-root.
+func reroots(ctx context.Context) error { // want `never used`
+	c, cancel := context.WithTimeout(context.Background(), time.Second) // want `derive from the parameter`
+	defer cancel()
+	return lookup(c)
+}
+
+// threads derives from the parameter.
+func threads(ctx context.Context) error {
+	c, cancel := context.WithTimeout(ctx, time.Second)
+	defer cancel()
+	return lookup(c)
+}
+
+// rerootsInLiteral re-roots inside a closure whose own signature takes ctx.
+func rerootsInLiteral() func(context.Context) error {
+	return func(ctx context.Context) error {
+		return lookup(context.TODO()) // want `derive from the parameter`
+	}
+}
+
+// orphanRoot builds a root context in a library with no justification.
+func orphanRoot() error {
+	return lookup(context.Background()) // want `rootctx`
+}
+
+// todoRoot is the same finding for TODO.
+func todoRoot() error {
+	return lookup(context.TODO()) // want `rootctx`
+}
+
+// blessedRoot is detached from every caller by design and says so.
+func blessedRoot() error {
+	//lint:rootctx session contexts outlive the request that created them
+	return lookup(context.Background())
+}
+
+// blessedRootInline annotates on the offending line itself.
+func blessedRootInline() error {
+	return lookup(context.Background()) //lint:rootctx detached supervisor by design
+}
+
+// drops accepts a context and never consults it.
+func drops(ctx context.Context, n int) int { // want `never used`
+	return n * 2
+}
+
+// interfaceImposed documents the unused parameter with a blank name.
+func interfaceImposed(_ context.Context, n int) int {
+	return n * 2
+}
+
+// usesViaCallee threads its context into a callee; that is a use.
+func usesViaCallee(ctx context.Context) error {
+	return lookup(ctx)
+}
+
+func lookup(ctx context.Context) error {
+	<-ctx.Done()
+	return ctx.Err()
+}

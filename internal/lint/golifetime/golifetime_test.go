@@ -1,0 +1,11 @@
+package golifetime
+
+import (
+	"testing"
+
+	"repro/internal/lint/linttest"
+)
+
+func TestGolifetime(t *testing.T) {
+	linttest.Run(t, Analyzer, "testdata/src/a")
+}

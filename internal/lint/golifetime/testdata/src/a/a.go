@@ -1,0 +1,148 @@
+// Package a is the golifetime fixture: goroutines with and without
+// termination signals, plus the //ppm:daemon annotation escape.
+package a
+
+import (
+	"context"
+	"sync"
+)
+
+// leakyLoop spawns a goroutine nothing can stop.
+func leakyLoop(work chan int) {
+	go func() { // want `no termination signal`
+		for {
+			process(0)
+		}
+	}()
+}
+
+// leakySend blocks forever on a send with no cancellation path.
+func leakySend(out chan int) {
+	go func() { // want `no termination signal`
+		out <- 1
+	}()
+}
+
+// ctxBound observes cancellation through a context.
+func ctxBound(ctx context.Context) {
+	go func() {
+		<-ctx.Done()
+	}()
+}
+
+// ctxThreaded references a context without a direct Done receive; passing
+// it onward is still a termination signal.
+func ctxThreaded(ctx context.Context) {
+	go func() {
+		helper(ctx)
+	}()
+}
+
+// wgBound is joined by a WaitGroup.
+func wgBound(wg *sync.WaitGroup) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		process(1)
+	}()
+}
+
+// wgWaiter is itself a join point: it returns when the group drains.
+func wgWaiter(wg *sync.WaitGroup, done chan struct{}) {
+	go func() {
+		wg.Wait()
+		close(done)
+	}()
+}
+
+// rangeBound drains a work channel and exits when it closes.
+func rangeBound(work chan int) {
+	go func() {
+		for w := range work {
+			process(w)
+		}
+	}()
+}
+
+// selectBound has a receive case on a done channel.
+func selectBound(stop chan struct{}, work chan int) {
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			case w := <-work:
+				process(w)
+			}
+		}
+	}()
+}
+
+// namedSpawn spawns a same-package function whose body carries the signal.
+func namedSpawn(stop chan struct{}) {
+	go stoppableLoop(stop)
+}
+
+func stoppableLoop(stop chan struct{}) {
+	for {
+		select {
+		case <-stop:
+			return
+		default:
+			process(2)
+		}
+	}
+}
+
+// namedLeaky spawns a same-package function with no signal.
+func namedLeaky() {
+	go spinForever() // want `no termination signal`
+}
+
+func spinForever() {
+	for {
+		process(3)
+	}
+}
+
+// metricsPump is a process-lifetime daemon, documented as such.
+//
+//ppm:daemon process-lifetime metrics pump; dies with the process
+func metricsPump() {
+	for {
+		process(4)
+	}
+}
+
+func spawnDaemon() {
+	go metricsPump()
+}
+
+// inlineDaemon annotates the go statement itself.
+func inlineDaemon() {
+	//ppm:daemon accept loop bound to the listener's lifetime
+	go func() {
+		for {
+			process(5)
+		}
+	}()
+}
+
+// bareDirective omits the mandatory justification sentence.
+func bareDirective() {
+	//ppm:daemon
+	go func() { // want `justification sentence`
+		for {
+			process(6)
+		}
+	}()
+}
+
+// opaqueSpawn launches a function value the analyzer cannot see into.
+func opaqueSpawn(f func()) {
+	go f() // want `cannot see into`
+}
+
+func helper(ctx context.Context) {}
+
+func process(int) {}

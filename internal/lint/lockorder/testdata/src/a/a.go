@@ -1,0 +1,111 @@
+// Package a is the lockorder fixture: a Server/Job lock hierarchy modeled
+// on internal/serve, with a clean acquisition order, a reversed-order
+// function that closes a cycle, blocking operations under a held lock, and
+// the //lint:lockheld escape.
+package a
+
+import (
+	"os"
+	"sync"
+)
+
+// Server owns the session table; Server.mu guards it. The intended order is
+// Server.mu before Job.mu, as in admit.
+type Server struct {
+	mu   sync.Mutex
+	jobs map[string]*Job
+	sem  chan struct{}
+}
+
+// Job is one admitted session; Job.mu guards its state.
+type Job struct {
+	mu    sync.Mutex
+	state int
+}
+
+// admit establishes the blessed order: Server.mu, then each Job.mu.
+func (s *Server) admit(id string) *Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, j := range s.jobs {
+		j.mu.Lock()
+		j.state++
+		j.mu.Unlock()
+	}
+	j := &Job{}
+	s.jobs[id] = j
+	return j
+}
+
+// finish reverses the order — Job.mu then Server.mu — closing the cycle
+// admit opened. Run alongside admit, each goroutine can hold one lock and
+// wait forever on the other.
+func (s *Server) finish(j *Job) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	s.mu.Lock() // want `lock ordering cycle: Job.mu -> Server.mu -> Job.mu`
+	delete(s.jobs, "id")
+	s.mu.Unlock()
+}
+
+// sendsUnderLock performs a channel send with Server.mu held: every
+// contender for the lock now waits on the channel's consumer.
+func (s *Server) sendsUnderLock() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.sem <- struct{}{} // want `Server.mu held across blocking channel send`
+}
+
+// readsUnderLock does file I/O with the lock held.
+func (s *Server) readsUnderLock(path string) ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return os.ReadFile(path) // want `Server.mu held across blocking os.ReadFile`
+}
+
+// callsBlockerUnderLock blocks transitively: drain receives from a channel,
+// and the summary propagates to this call site.
+func (s *Server) callsBlockerUnderLock() {
+	s.mu.Lock()
+	s.drain() // want `Server.mu held across call to drain, which blocks on channel receive`
+	s.mu.Unlock()
+}
+
+// drain receives with no lock held; fine on its own.
+func (s *Server) drain() {
+	<-s.sem
+}
+
+// relocks takes the same lock twice on one path.
+func (s *Server) relocks() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.mu.Lock() // want `Server.mu acquired while already held on this path \(self-deadlock\)`
+	s.mu.Unlock()
+}
+
+// releasesFirst is the clean shape: drop the lock, then block.
+func (s *Server) releasesFirst() {
+	s.mu.Lock()
+	s.mu.Unlock()
+	<-s.sem
+}
+
+// signalsUnderLock holds the lock across a send that is provably
+// non-blocking (buffered channel sized to the job table) and says so.
+func (s *Server) signalsUnderLock() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.sem <- struct{}{} //lint:lockheld sem is buffered to len(jobs); send cannot block here
+}
+
+// spawnsUnderLock starts a goroutine while holding the lock. The goroutine
+// body blocks, but on its own stack — no finding in the spawner, and the
+// literal's own scope holds nothing.
+func (s *Server) spawnsUnderLock() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	go func() {
+		<-s.sem
+	}()
+}

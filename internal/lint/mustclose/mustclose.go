@@ -1,0 +1,152 @@
+// Package mustclose reports discarded error returns from resource-cleanup
+// calls: Close, Flush, Shutdown and Sync. A buffered writer that fails its
+// final Flush, or a file that fails Close, has silently lost data — the
+// exact bug cmd/tracegen shipped with until PR 4 checked both and turned
+// them into the exit code.
+//
+// A cleanup call is discarded when it stands alone as an expression
+// statement, or behind defer/go (both throw the result away). An explicit
+// `_ = w.Close()` is allowed: the discard is visible to a reviewer.
+//
+// Close on a pure reader (a type implementing io.Reader but not io.Writer,
+// like an http.Response body) is exempt — nothing buffered can be lost.
+// Close on anything else, and Flush/Shutdown/Sync everywhere, must be
+// checked. A call whose error is genuinely meaningless (closing a
+// read-only *os.File, whose static type is also a writer) opts out with
+// `//lint:closeerr <reason>` on the call's line or the line above.
+package mustclose
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/lint"
+)
+
+// CloseerrDirective marks a cleanup call whose error is intentionally
+// ignored, with a reason.
+const CloseerrDirective = "closeerr"
+
+// Analyzer reports unchecked Close/Flush/Shutdown/Sync error returns.
+var Analyzer = &lint.Analyzer{
+	Name: "mustclose",
+	Doc: "Close/Flush/Shutdown/Sync calls returning an error must not be " +
+		"discarded (bare statement, defer, go); Close on a pure reader is " +
+		"exempt, anything else escapes with //lint:closeerr <reason>",
+	Run: run,
+}
+
+// cleanupNames are the method names whose error return signals lost work.
+var cleanupNames = map[string]bool{
+	"Close":    true,
+	"Flush":    true,
+	"Shutdown": true,
+	"Sync":     true,
+}
+
+func run(pass *lint.Pass) error {
+	for _, file := range pass.Files {
+		escapes := lint.EscapeLines(pass.Fset, file, CloseerrDirective)
+		ast.Inspect(file, func(n ast.Node) bool {
+			var call *ast.CallExpr
+			verb := "discarded"
+			switch s := n.(type) {
+			case *ast.ExprStmt:
+				call, _ = s.X.(*ast.CallExpr)
+			case *ast.DeferStmt:
+				call = s.Call
+				verb = "discarded by defer"
+			case *ast.GoStmt:
+				call = s.Call
+				verb = "discarded by go"
+			default:
+				return true
+			}
+			if call == nil {
+				return true
+			}
+			name, ok := uncheckedCleanup(pass.TypesInfo, call)
+			if !ok || lint.Escaped(pass.Fset, escapes, call.Pos()) {
+				return true
+			}
+			pass.Reportf(call.Pos(), "%s error %s: check it, assign it explicitly, or annotate //lint:closeerr <reason>", name, verb)
+			return true
+		})
+	}
+	return nil
+}
+
+// uncheckedCleanup reports whether call is a cleanup method whose error
+// result the surrounding statement throws away, returning the method name.
+func uncheckedCleanup(info *types.Info, call *ast.CallExpr) (string, bool) {
+	fn, ok := lint.ObjectOf(info, call.Fun).(*types.Func)
+	if !ok || !cleanupNames[fn.Name()] {
+		return "", false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || !returnsError(sig) {
+		return "", false
+	}
+	if fn.Name() == "Close" && pureReaderReceiver(info, call) {
+		return "", false
+	}
+	return fn.Name(), true
+}
+
+// returnsError reports whether the signature's last result is error.
+func returnsError(sig *types.Signature) bool {
+	res := sig.Results()
+	if res.Len() == 0 {
+		return false
+	}
+	t := res.At(res.Len() - 1).Type()
+	named, ok := t.(*types.Named)
+	return ok && named.Obj() == types.Universe.Lookup("error")
+}
+
+// pureReaderReceiver reports whether the Close call's receiver expression
+// has a static type implementing io.Reader but not io.Writer — a read-side
+// closer whose error cannot mean lost data.
+func pureReaderReceiver(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	t := info.TypeOf(sel.X)
+	if t == nil {
+		return false
+	}
+	return implementsMaybePtr(t, readerIface) && !implementsMaybePtr(t, writerIface)
+}
+
+// implementsMaybePtr checks t and *t against iface.
+func implementsMaybePtr(t types.Type, iface *types.Interface) bool {
+	if types.Implements(t, iface) {
+		return true
+	}
+	if _, isPtr := t.(*types.Pointer); !isPtr {
+		return types.Implements(types.NewPointer(t), iface)
+	}
+	return false
+}
+
+// readerIface and writerIface are synthetic io.Reader / io.Writer
+// interfaces, built from universe types so the analyzer does not depend on
+// the analyzed package importing io. Method-set matching in go/types is
+// structural on name + signature, and both methods are exported, so the
+// nil-package methods match the real io interfaces.
+var readerIface = byteMethodIface("Read")
+var writerIface = byteMethodIface("Write")
+
+func byteMethodIface(name string) *types.Interface {
+	params := types.NewTuple(types.NewVar(token.NoPos, nil, "p", types.NewSlice(types.Typ[types.Byte])))
+	results := types.NewTuple(
+		types.NewVar(token.NoPos, nil, "n", types.Typ[types.Int]),
+		types.NewVar(token.NoPos, nil, "err", types.Universe.Lookup("error").Type()),
+	)
+	sig := types.NewSignatureType(nil, nil, nil, params, results, false)
+	iface := types.NewInterfaceType([]*types.Func{types.NewFunc(token.NoPos, nil, name, sig)}, nil)
+	iface.Complete()
+	return iface
+}

@@ -1,0 +1,11 @@
+package mustclose
+
+import (
+	"testing"
+
+	"repro/internal/lint/linttest"
+)
+
+func TestMustclose(t *testing.T) {
+	linttest.Run(t, Analyzer, "testdata/src/a")
+}

@@ -1,0 +1,75 @@
+// Package a is the mustclose fixture: discarded cleanup errors in every
+// statement shape, the pure-reader exemption, and the //lint:closeerr
+// escape.
+package a
+
+import (
+	"bufio"
+	"io"
+	"net/http"
+	"os"
+)
+
+// bareClose throws the writer's Close error away.
+func bareClose(f *os.File) {
+	f.Close() // want `Close error discarded`
+}
+
+// deferredClose throws it away behind defer.
+func deferredClose(f *os.File) {
+	defer f.Close() // want `discarded by defer`
+}
+
+// goClose throws it away behind go.
+func goClose(f *os.File) {
+	go f.Close() // want `discarded by go`
+}
+
+// bareFlush loses whatever the buffer still held.
+func bareFlush(w *bufio.Writer) {
+	w.Flush() // want `Flush error discarded`
+}
+
+// bareShutdown ignores whether the drain completed.
+func bareShutdown(s *http.Server) {
+	s.Shutdown(nil) // want `Shutdown error discarded`
+}
+
+// bareSync ignores whether the kernel accepted the data.
+func bareSync(f *os.File) {
+	f.Sync() // want `Sync error discarded`
+}
+
+// checkedClose consumes the error; nothing to report.
+func checkedClose(f *os.File) error {
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// explicitDiscard is visible to a reviewer and allowed.
+func explicitDiscard(w *bufio.Writer) {
+	_ = w.Flush()
+}
+
+// readerClose closes a pure reader: exempt, no buffered data to lose.
+func readerClose(body io.ReadCloser) {
+	defer body.Close()
+}
+
+// annotatedClose is a writer by type but read-only by mode, and says so.
+func annotatedClose(f *os.File) {
+	defer f.Close() //lint:closeerr opened read-only; Close cannot lose data
+}
+
+// annotatedAbove carries the escape on the line above.
+func annotatedAbove(f *os.File) {
+	//lint:closeerr read-only input file
+	defer f.Close()
+}
+
+// noErrorFlush has no error result to discard (http.Flusher).
+func noErrorFlush(f http.Flusher) {
+	f.Flush()
+}

@@ -1,0 +1,57 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestJobDeadlineCause pins the regression from the context-cause audit: a
+// job whose deadline fires must record errJobDeadline as its context cause,
+// not the generic context.DeadlineExceeded every wrapping deadline also
+// yields — terminalState depends on the cause to name who killed the job.
+func TestJobDeadlineCause(t *testing.T) {
+	j := newJob("j1", "suite", 1, time.Now(), 5*time.Millisecond)
+	select {
+	case <-j.ctx.Done():
+	case <-time.After(5 * time.Second):
+		t.Fatal("job context never expired")
+	}
+	if cause := context.Cause(j.ctx); !errors.Is(cause, errJobDeadline) {
+		t.Fatalf("context.Cause = %v, want errJobDeadline", cause)
+	}
+	state, msg := terminalState(j.ctx)
+	if state != StateFailed || msg != "job deadline exceeded" {
+		t.Fatalf("terminalState = (%q, %q), want (failed, job deadline exceeded)", state, msg)
+	}
+}
+
+// TestCancelCausesPreserved verifies the other two cancellation causes
+// survive to terminalState untouched by the deadline-cause change.
+func TestCancelCausesPreserved(t *testing.T) {
+	cases := []struct {
+		name      string
+		cause     error
+		wantState string
+		wantMsg   string
+	}{
+		{"client", errClientCancel, StateCancelled, ""},
+		{"drain", errDrainAbort, StateCancelled, "shutdown drain timeout"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			j := newJob("j2", "suite", 1, time.Now(), time.Minute)
+			defer j.release()
+			j.cancel(tc.cause)
+			<-j.ctx.Done()
+			if cause := context.Cause(j.ctx); !errors.Is(cause, tc.cause) {
+				t.Fatalf("context.Cause = %v, want %v", cause, tc.cause)
+			}
+			state, msg := terminalState(j.ctx)
+			if state != tc.wantState || msg != tc.wantMsg {
+				t.Fatalf("terminalState = (%q, %q), want (%q, %q)", state, msg, tc.wantState, tc.wantMsg)
+			}
+		})
+	}
+}

@@ -22,6 +22,7 @@ const (
 var (
 	errClientCancel = errors.New("serve: cancelled by client")
 	errDrainAbort   = errors.New("serve: aborted by shutdown drain timeout")
+	errJobDeadline  = errors.New("serve: job deadline exceeded")
 )
 
 // JobSpec is the JSON body of a suite-job submission. Zero-valued fields
@@ -105,7 +106,11 @@ type job struct {
 }
 
 func newJob(id, kind string, total int, created time.Time, timeout time.Duration) *job {
-	base, release := context.WithTimeout(context.Background(), timeout)
+	// The deadline carries an explicit cause: context.Cause must name the
+	// job timeout, not the generic DeadlineExceeded any wrapping deadline
+	// would also produce.
+	//lint:rootctx job contexts are roots; jobs outlive the submitting request
+	base, release := context.WithTimeoutCause(context.Background(), timeout, errJobDeadline)
 	ctx, cancel := context.WithCancelCause(base)
 	return &job{
 		id: id, kind: kind, created: created,
@@ -192,7 +197,7 @@ func terminalState(ctx context.Context) (string, string) {
 		return StateCancelled, ""
 	case errors.Is(cause, errDrainAbort):
 		return StateCancelled, "shutdown drain timeout"
-	case errors.Is(cause, context.DeadlineExceeded):
+	case errors.Is(cause, errJobDeadline), errors.Is(cause, context.DeadlineExceeded):
 		return StateFailed, "job deadline exceeded"
 	default:
 		return StateFailed, cause.Error()

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"repro/internal/bench"
+	"repro/internal/check/leakcheck"
 	"repro/internal/sim"
 )
 
@@ -57,6 +58,9 @@ func TestConcurrentLifecycle(t *testing.T) {
 	if testing.Short() {
 		t.Skip("stress test")
 	}
+	// First, so its cleanup runs after ts.Close: every goroutine the stress
+	// spawned — workers, janitor, streamers — must be gone at exit.
+	leakcheck.Check(t)
 	const (
 		events     = 300
 		goroutines = 12

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"repro/internal/bench"
+	"repro/internal/check/leakcheck"
 	"repro/internal/sim"
 	"repro/internal/trace"
 )
@@ -271,6 +272,9 @@ func TestJobDeadline(t *testing.T) {
 // criterion: during drain the server flips /readyz, rejects new work with
 // 503, lets the in-flight job finish, and Shutdown returns nil.
 func TestShutdownDrains(t *testing.T) {
+	// A drained server must leave no goroutines behind: workers, janitor,
+	// and the shutdown helper itself all exit.
+	leakcheck.Check(t)
 	s, ts, release, entered := gatedServer(t, Config{MaxConcurrent: 1})
 	st, _ := submitSpec(t, ts.URL, JobSpec{Workloads: []string{"eqn"}, Events: 300})
 	<-entered
