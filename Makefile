@@ -4,7 +4,7 @@
 GO      ?= go
 FUZZTIME ?= 30s
 
-.PHONY: all build test race lint fmt vet ppmlint lint-concurrency escapes-check escapes-update bench bench-experiments parallel-smoke serve-smoke check-quick check fuzz-smoke ci
+.PHONY: all build test race lint fmt vet ppmlint lint-concurrency lint-codegen escapes-check escapes-update bce-check bce-update inline-check inline-update gates bench bench-experiments parallel-smoke serve-smoke check-quick check fuzz-smoke ci
 
 all: build
 
@@ -25,8 +25,9 @@ fmt:
 vet:
 	$(GO) vet ./...
 
-# The repository's own analyzers: ctxflow, determinism, golifetime, hotpath,
-# ifaceassert, ifacecall, lockorder, mustclose, panicdoc, pow2mask.
+# The repository's own analyzers: ctxflow, determinism, falseshare,
+# golifetime, hotpath, idxmask, ifaceassert, ifacecall, lockorder, mustclose,
+# panicdoc, pow2mask.
 ppmlint:
 	$(GO) run ./cmd/ppmlint ./...
 
@@ -44,6 +45,34 @@ escapes-check:
 # Regenerate the escape baseline after an intentional change; commit the diff.
 escapes-update:
 	$(GO) run ./cmd/escapegate -update
+
+# Bounds-check-elimination gate: fails when a hot-path file gains a surviving
+# bounds check beyond internal/lint/bce.baseline. The idxmask analyzer (part
+# of `make ppmlint`) points at the index derivation to fix.
+bce-check:
+	$(GO) run ./cmd/bcegate
+
+# Regenerate the bounds-check baseline after an intentional change.
+bce-update:
+	$(GO) run ./cmd/bcegate -update
+
+# Inlining-budget gate: every hot-set function must be inlinable or listed
+# in internal/lint/inline.baseline with the compiler's cost and reason.
+inline-check:
+	$(GO) run ./cmd/inlinegate
+
+# Regenerate the inlining baseline after an intentional change.
+inline-update:
+	$(GO) run ./cmd/inlinegate -update
+
+# Just the codegen-adjacent analyzers — index-safety dataflow (idxmask) and
+# atomic cache-line layout (falseshare) — for a fast pass over the predictor
+# tables. `make ppmlint` (via `make lint`) runs them too.
+lint-codegen:
+	$(GO) run ./cmd/ppmlint -run idxmask,falseshare ./...
+
+# All three compiler-diagnostic budget gates against their baselines.
+gates: escapes-check bce-check inline-check
 
 # Run the predictor benchmarks with -benchmem and refresh the checked-in
 # machine-readable snapshot.
@@ -92,4 +121,4 @@ check:
 fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzReader -fuzztime=$(FUZZTIME) ./internal/trace
 
-ci: build lint lint-concurrency escapes-check race parallel-smoke serve-smoke check-quick fuzz-smoke
+ci: build lint lint-concurrency lint-codegen gates race parallel-smoke serve-smoke check-quick fuzz-smoke

@@ -338,6 +338,7 @@ func (c *client) bench(args []string, stdout, stderr io.Writer) int {
 	spec := buildSpec(*suite, *workloads, *predictors, *events)
 
 	var (
+		//lint:shared closed-loop bench counters: per-job increments are dwarfed by HTTP round-trips
 		next, completed, errors, shed atomic.Int64
 		mu                            sync.Mutex
 		p50                           = serve.NewP2(0.50)

@@ -26,12 +26,21 @@
 //	             escapes a justified blocking op)
 //	mustclose    Close/Flush/Shutdown/Sync error returns must be checked
 //	             or explicitly discarded (//lint:closeerr escapes)
+//	idxmask      slice indices into predictor tables must be provably
+//	             in-bounds — a power-of-two mask, a modulus by len, or a
+//	             value compared against len (//lint:idxsafe escapes)
+//	falseshare   atomic counter fields may not share a cache line; pad each
+//	             to 64 bytes (//lint:shared escapes)
 //
 // ppmlint prints each finding as file:line:col: message [analyzer] and exits
-// non-zero when there are findings, so `make lint` and CI fail on them.
+// non-zero when there are findings, so `make lint` and CI fail on them. With
+// -json, findings stream as NDJSON objects ({file, line, col, analyzer,
+// message, escape}) for machine consumers; the escape field carries the
+// analyzer's escape-hatch directive so tooling can offer the annotation.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -40,8 +49,10 @@ import (
 	"repro/internal/lint"
 	"repro/internal/lint/ctxflow"
 	"repro/internal/lint/determinism"
+	"repro/internal/lint/falseshare"
 	"repro/internal/lint/golifetime"
 	"repro/internal/lint/hotpath"
+	"repro/internal/lint/idxmask"
 	"repro/internal/lint/ifaceassert"
 	"repro/internal/lint/ifacecall"
 	"repro/internal/lint/lockorder"
@@ -53,8 +64,10 @@ import (
 var analyzers = []*lint.Analyzer{
 	ctxflow.Analyzer,
 	determinism.Analyzer,
+	falseshare.Analyzer,
 	golifetime.Analyzer,
 	hotpath.Analyzer,
+	idxmask.Analyzer,
 	ifaceassert.Analyzer,
 	ifacecall.Analyzer,
 	lockorder.Analyzer,
@@ -65,6 +78,7 @@ var analyzers = []*lint.Analyzer{
 
 func main() {
 	only := flag.String("run", "", "comma-separated analyzer names to run (default: all)")
+	asJSON := flag.Bool("json", false, "emit findings as NDJSON (one {file,line,col,analyzer,message,escape} object per line)")
 	flag.Usage = usage
 	flag.Parse()
 
@@ -89,12 +103,41 @@ func main() {
 		fmt.Fprintln(os.Stderr, "ppmlint:", err)
 		os.Exit(2)
 	}
-	for _, d := range diags {
-		fmt.Println(d)
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		for _, d := range diags {
+			if err := enc.Encode(jsonDiag{
+				File:     d.Pos.Filename,
+				Line:     d.Pos.Line,
+				Col:      d.Pos.Column,
+				Analyzer: d.Analyzer,
+				Message:  d.Message,
+				Escape:   d.Escape,
+			}); err != nil {
+				fmt.Fprintln(os.Stderr, "ppmlint:", err)
+				os.Exit(2)
+			}
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Println(d)
+		}
 	}
 	if len(diags) > 0 {
 		os.Exit(1)
 	}
+}
+
+// jsonDiag is the NDJSON shape of one finding. The escape field names the
+// analyzer's escape-hatch directive (e.g. "//lint:idxsafe <reason>"), or ""
+// when the analyzer has none.
+type jsonDiag struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+	Escape   string `json:"escape,omitempty"`
 }
 
 func selectAnalyzers(only string) ([]*lint.Analyzer, error) {
@@ -117,7 +160,7 @@ func selectAnalyzers(only string) ([]*lint.Analyzer, error) {
 }
 
 func usage() {
-	fmt.Fprintf(os.Stderr, "usage: ppmlint [-run a,b] [packages]\n\nanalyzers:\n")
+	fmt.Fprintf(os.Stderr, "usage: ppmlint [-run a,b] [-json] [packages]\n\nanalyzers:\n")
 	for _, a := range analyzers {
 		fmt.Fprintf(os.Stderr, "  %-12s %s\n", a.Name, a.Doc)
 	}

@@ -105,16 +105,21 @@ func (c *Cascade) Name() string {
 // Entries implements predictor.Sized.
 func (c *Cascade) Entries() int { return len(c.filter) + c.main.Entries() }
 
-func (c *Cascade) filterIndex(pc uint64) (idx, tag uint64) {
-	idx = (pc >> 2) & uint64(len(c.filter)-1)
-	tag = hashing.Mix64(pc>>2) >> 40
-	return idx, tag
+// filterSlot masks the word-aligned pc into the filter; single-return so
+// callers inherit the in-bounds proof.
+func (c *Cascade) filterSlot(pc uint64) uint64 {
+	return (pc >> 2) & uint64(len(c.filter)-1)
+}
+
+// filterTag is the 24-bit mixed tag distinguishing aliased branches.
+func (c *Cascade) filterTag(pc uint64) uint64 {
+	return hashing.Mix64(pc>>2) >> 40
 }
 
 // Predict implements predictor.IndirectPredictor.
 func (c *Cascade) Predict(pc uint64) (uint64, bool) {
 	mTgt, mOK := c.main.Predict(pc)
-	fIdx, fTag := c.filterIndex(pc)
+	fIdx, fTag := c.filterSlot(pc), c.filterTag(pc)
 	fe := &c.filter[fIdx]
 	fHit := fe.valid && fe.tag == fTag
 

@@ -148,7 +148,7 @@ func (p *RefPPM) index(recent []uint64, order uint) uint64 {
 // mode, compute every order's SFSXS index, and let the valid entry of the
 // highest order supply the target, falling back to the order-0 component.
 //
-//ppm:coldpath
+//ppm:coldpath reference model: unbounded bookkeeping is intentional, not hardware
 func (p *RefPPM) Predict(pc uint64) (uint64, bool) {
 	var hist *refHistory
 	var sel *refBIUEntry
@@ -211,7 +211,7 @@ func refTrainMarkov(table map[uint64]*refMarkovEntry, idx uint64, tag uint32, ta
 // exclusion: the chosen component and every higher order train; a
 // no-prediction trains everything including the order-0 component.
 //
-//ppm:coldpath
+//ppm:coldpath reference model: unbounded bookkeeping is intentional, not hardware
 func (p *RefPPM) Update(_, target uint64) {
 	pd := &p.pending
 	correct := pd.ok && pd.target == target
@@ -243,7 +243,7 @@ func (p *RefPPM) Update(_, target uint64) {
 // and the hybrid modes' BIU learns annotation bits for every indirect-class
 // branch.
 //
-//ppm:coldpath
+//ppm:coldpath reference model: unbounded bookkeeping is intentional, not hardware
 func (p *RefPPM) Observe(r trace.Record) {
 	if p.cfg.Mode != core.PIBOnly {
 		if r.Class.Indirect() {

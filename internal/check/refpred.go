@@ -69,7 +69,7 @@ func (b *RefBTB) Name() string { return b.name }
 
 // Predict implements predictor.IndirectPredictor.
 //
-//ppm:coldpath
+//ppm:coldpath reference model: unbounded bookkeeping is intentional, not hardware
 func (b *RefBTB) Predict(pc uint64) (uint64, bool) {
 	idx := (pc >> 2) % b.size
 	b.pendingIdx = idx
@@ -81,7 +81,7 @@ func (b *RefBTB) Predict(pc uint64) (uint64, bool) {
 
 // Update implements predictor.IndirectPredictor.
 //
-//ppm:coldpath
+//ppm:coldpath reference model: unbounded bookkeeping is intentional, not hardware
 func (b *RefBTB) Update(_, target uint64) {
 	e := b.table[b.pendingIdx]
 	if e == nil {
@@ -105,7 +105,7 @@ func (b *RefBTB) Update(_, target uint64) {
 
 // Observe implements predictor.IndirectPredictor; BTBs keep no history.
 //
-//ppm:coldpath
+//ppm:coldpath reference model: unbounded bookkeeping is intentional, not hardware
 func (b *RefBTB) Observe(trace.Record) {}
 
 // --- Target Cache ----------------------------------------------------------
@@ -159,7 +159,7 @@ func (t *RefTargetCache) Name() string {
 
 // Predict implements predictor.IndirectPredictor.
 //
-//ppm:coldpath
+//ppm:coldpath reference model: unbounded bookkeeping is intentional, not hardware
 func (t *RefTargetCache) Predict(pc uint64) (uint64, bool) {
 	idx := refGShare(t.hist.packed(), pc, t.indexBits)
 	t.pendingIdx = idx
@@ -177,14 +177,14 @@ func (t *RefTargetCache) Predict(pc uint64) (uint64, bool) {
 // Update implements predictor.IndirectPredictor: always install the actual
 // target.
 //
-//ppm:coldpath
+//ppm:coldpath reference model: unbounded bookkeeping is intentional, not hardware
 func (t *RefTargetCache) Update(_, target uint64) {
 	t.table[t.pendingIdx] = &refTCEntry{tag: t.pendingTag, target: target}
 }
 
 // Observe implements predictor.IndirectPredictor.
 //
-//ppm:coldpath
+//ppm:coldpath reference model: unbounded bookkeeping is intentional, not hardware
 func (t *RefTargetCache) Observe(r trace.Record) { t.hist.observe(r) }
 
 // --- PHT (reference pattern history table) ---------------------------------
@@ -366,7 +366,7 @@ func (g *RefGAp) index(pc uint64) (*refPHT, uint64, uint64) {
 
 // Predict implements predictor.IndirectPredictor.
 //
-//ppm:coldpath
+//ppm:coldpath reference model: unbounded bookkeeping is intentional, not hardware
 func (g *RefGAp) Predict(pc uint64) (uint64, bool) {
 	table, idx, tag := g.index(pc)
 	g.pending.table, g.pending.index, g.pending.tag = table, idx, tag
@@ -379,7 +379,7 @@ func (g *RefGAp) Predict(pc uint64) (uint64, bool) {
 
 // Update implements predictor.IndirectPredictor.
 //
-//ppm:coldpath
+//ppm:coldpath reference model: unbounded bookkeeping is intentional, not hardware
 func (g *RefGAp) Update(_, target uint64) { g.updateAlloc(target, true) }
 
 func (g *RefGAp) updateAlloc(target uint64, allocate bool) {
@@ -388,7 +388,7 @@ func (g *RefGAp) updateAlloc(target uint64, allocate bool) {
 
 // Observe implements predictor.IndirectPredictor.
 //
-//ppm:coldpath
+//ppm:coldpath reference model: unbounded bookkeeping is intentional, not hardware
 func (g *RefGAp) Observe(r trace.Record) { g.hist.observe(r) }
 
 // --- Dual-path -------------------------------------------------------------
@@ -430,7 +430,7 @@ func (d *RefDualPath) selector(idx uint64) uint8 {
 // Predict implements predictor.IndirectPredictor: prefer the selected
 // component, fall back to the other on a table miss.
 //
-//ppm:coldpath
+//ppm:coldpath reference model: unbounded bookkeeping is intentional, not hardware
 func (d *RefDualPath) Predict(pc uint64) (uint64, bool) {
 	sTgt, sOK := d.short.Predict(pc)
 	lTgt, lOK := d.long.Predict(pc)
@@ -455,7 +455,7 @@ func (d *RefDualPath) Predict(pc uint64) (uint64, bool) {
 
 // Update implements predictor.IndirectPredictor.
 //
-//ppm:coldpath
+//ppm:coldpath reference model: unbounded bookkeeping is intentional, not hardware
 func (d *RefDualPath) Update(pc, target uint64) { d.updateAlloc(pc, target, true) }
 
 func (d *RefDualPath) updateAlloc(pc, target uint64, allocate bool) {
@@ -479,7 +479,7 @@ func (d *RefDualPath) updateAlloc(pc, target uint64, allocate bool) {
 
 // Observe implements predictor.IndirectPredictor.
 //
-//ppm:coldpath
+//ppm:coldpath reference model: unbounded bookkeeping is intentional, not hardware
 func (d *RefDualPath) Observe(r trace.Record) {
 	d.short.Observe(r)
 	d.long.Observe(r)
@@ -527,7 +527,7 @@ func (c *RefCascade) Name() string { return "Cascade" }
 // Predict implements predictor.IndirectPredictor: main predictor first on a
 // tag hit, filter second.
 //
-//ppm:coldpath
+//ppm:coldpath reference model: unbounded bookkeeping is intentional, not hardware
 func (c *RefCascade) Predict(pc uint64) (uint64, bool) {
 	mTgt, mOK := c.main.Predict(pc)
 	fIdx := (pc >> 2) % c.filterSize
@@ -557,7 +557,7 @@ func (c *RefCascade) Predict(pc uint64) (uint64, bool) {
 // filter trains like a tagged BTB2b whose misses brand the branch
 // polymorphic.
 //
-//ppm:coldpath
+//ppm:coldpath reference model: unbounded bookkeeping is intentional, not hardware
 func (c *RefCascade) Update(pc, target uint64) {
 	p := &c.pending
 	fe := c.filter[p.fIdx]
@@ -580,7 +580,7 @@ func (c *RefCascade) Update(pc, target uint64) {
 
 // Observe implements predictor.IndirectPredictor.
 //
-//ppm:coldpath
+//ppm:coldpath reference model: unbounded bookkeeping is intentional, not hardware
 func (c *RefCascade) Observe(r trace.Record) { c.main.Observe(r) }
 
 var (

@@ -64,8 +64,15 @@ func (f *FilteredPPM) Entries() int { return len(f.filter) + f.ppm.Entries() }
 // PPM exposes the wrapped Markov stack.
 func (f *FilteredPPM) PPM() *PPM { return f.ppm }
 
-func (f *FilteredPPM) index(pc uint64) (uint64, uint64) {
-	return (pc >> 2) & uint64(len(f.filter)-1), hashing.Mix64(pc>>2) >> 40
+// filterSlot masks the word-aligned pc into the filter; single-return so
+// callers inherit the in-bounds proof.
+func (f *FilteredPPM) filterSlot(pc uint64) uint64 {
+	return (pc >> 2) & uint64(len(f.filter)-1)
+}
+
+// filterTag is the 24-bit mixed tag distinguishing aliased branches.
+func (f *FilteredPPM) filterTag(pc uint64) uint64 {
+	return hashing.Mix64(pc>>2) >> 40
 }
 
 // Predict implements predictor.IndirectPredictor: a saturated-confidence
@@ -76,7 +83,7 @@ func (f *FilteredPPM) index(pc uint64) (uint64, uint64) {
 // only genuinely monomorphic behaviour is withheld from the Markov tables.
 func (f *FilteredPPM) Predict(pc uint64) (uint64, bool) {
 	tgt, ok := f.ppm.Predict(pc)
-	idx, tag := f.index(pc)
+	idx, tag := f.filterSlot(pc), f.filterTag(pc)
 	fe := &f.filter[idx]
 	fHit := fe.valid && fe.tag == tag
 

@@ -51,6 +51,12 @@ func (t *MarkovTable) Len() int { return len(t.entries) }
 // matches; otherwise nil. The valid bit stands in for a non-zero frequency
 // count of the underlying Markov state.
 func (t *MarkovTable) lookup(idx uint64, tag uint32) *markovEntry {
+	// The empty-table guard is dead (the constructor makes 1<<order >= 1
+	// entries) but lets the compiler prove the masked index in-bounds and
+	// drop the bounds check from the per-probe path.
+	if len(t.entries) == 0 {
+		return nil
+	}
 	e := &t.entries[idx&uint64(len(t.entries)-1)]
 	if !e.valid {
 		return nil
@@ -65,6 +71,9 @@ func (t *MarkovTable) lookup(idx uint64, tag uint32) *markovEntry {
 // (or tag-conflicting in tagged mode), strengthen on a target hit, weaken
 // and replace-after-two-misses otherwise.
 func (t *MarkovTable) train(idx uint64, tag uint32, target uint64) {
+	if len(t.entries) == 0 {
+		return // dead guard; see lookup
+	}
 	e := &t.entries[idx&uint64(len(t.entries)-1)]
 	if !e.valid || (t.tagged && e.tag != tag) {
 		*e = markovEntry{valid: true, tag: tag, target: target, hyst: counter.NewHysteresis()}

@@ -62,15 +62,16 @@ func (t *MultiMarkovTable) lookup(idx uint64) (uint64, bool) {
 	if !e.valid {
 		return 0, false
 	}
-	best := -1
+	best := 0
 	var bestCount uint8
-	for i := 0; i < e.n; i++ {
-		if e.slots[i].count > bestCount {
-			bestCount = e.slots[i].count
+	for i, s := range e.slots[:e.n] {
+		if s.count > bestCount {
+			bestCount = s.count
 			best = i
 		}
 	}
-	if best < 0 {
+	// Arcs aged to a zero count never win; no winner means no prediction.
+	if bestCount == 0 {
 		return 0, false
 	}
 	return e.slots[best].target, true
@@ -83,10 +84,10 @@ func (t *MultiMarkovTable) lookup(idx uint64) (uint64, bool) {
 func (t *MultiMarkovTable) train(idx uint64, target uint64) {
 	e := &t.entries[idx&uint64(len(t.entries)-1)]
 	e.valid = true
-	for i := 0; i < e.n; i++ {
-		if e.slots[i].target == target {
-			if e.slots[i].count >= 15 {
-				for j := 0; j < e.n; j++ {
+	for i, s := range e.slots[:e.n] {
+		if s.target == target {
+			if s.count >= 15 {
+				for j := range e.slots[:e.n] {
 					e.slots[j].count >>= 1
 				}
 			}
@@ -95,13 +96,13 @@ func (t *MultiMarkovTable) train(idx uint64, target uint64) {
 		}
 	}
 	if e.n < t.k {
-		e.slots[e.n] = mtSlot{target: target, count: 1}
+		e.slots[e.n] = mtSlot{target: target, count: 1} //lint:idxsafe e.n < t.k == len(e.slots): the constructor carves exactly k slots per entry
 		e.n++
 		return
 	}
 	min := 0
-	for i := 1; i < e.n; i++ {
-		if e.slots[i].count < e.slots[min].count {
+	for i, s := range e.slots[:e.n] {
+		if s.count < e.slots[min].count {
 			min = i
 		}
 	}
@@ -186,10 +187,11 @@ func (m *MultiPPM) Predict(pc uint64) (uint64, bool) {
 	pd.target = 0
 	for j := cfg.Order; j >= 1; j-- {
 		idx := m.inner.index(recent, uint(j))
-		pd.indices[j] = idx
+		pd.indices[j] = idx //lint:idxsafe j descends from Order and len(indices) == Order+1 by construction
 		if pd.ok {
 			continue
 		}
+		//lint:idxsafe j in [1, Order] and len(tables) == Order by construction
 		if tgt, ok := m.tables[j-1].lookup(idx); ok {
 			pd.chosen = j
 			pd.target = tgt
@@ -209,7 +211,7 @@ func (m *MultiPPM) Update(_, target uint64) {
 		low = 1
 	}
 	for j := m.inner.Config().Order; j >= low; j-- {
-		m.tables[j-1].train(pd.indices[j], target)
+		m.tables[j-1].train(pd.indices[j], target) //lint:idxsafe j in [1, Order]; tables and indices are Order and Order+1 long by construction
 	}
 }
 

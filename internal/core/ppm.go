@@ -238,10 +238,11 @@ func (p *PPM) Predict(pc uint64) (uint64, bool) {
 
 	for j := p.cfg.Order; j >= 1; j-- {
 		idx := p.index(recent, uint(j))
-		pd.indices[j] = idx
+		pd.indices[j] = idx //lint:idxsafe j descends from Order and len(indices) == Order+1 by construction
 		if pd.ok {
 			continue
 		}
+		//lint:idxsafe j in [1, Order] and len(tables) == Order by construction
 		if e := p.tables[j-1].lookup(idx, tag); e != nil && e.hyst.Value() >= p.cfg.ConfidenceThreshold {
 			pd.chosen = j
 			pd.target = e.target
@@ -254,9 +255,9 @@ func (p *PPM) Predict(pc uint64) (uint64, bool) {
 		pd.ok = true
 	}
 	if pd.ok {
-		p.stats.Accesses[pd.chosen]++
+		p.stats.Accesses[pd.chosen]++ //lint:idxsafe chosen in [0, Order] when ok; Accesses has Order+2 slots
 	} else {
-		p.stats.Accesses[p.cfg.Order+1]++
+		p.stats.Accesses[p.cfg.Order+1]++ //lint:idxsafe Accesses has Order+2 slots by construction
 	}
 	return pd.target, pd.ok
 }
@@ -277,9 +278,9 @@ func (p *PPM) UpdateAlloc(_, target uint64, train bool) {
 	correct := pd.ok && pd.target == target
 	if !correct {
 		if pd.ok {
-			p.stats.Misses[pd.chosen]++
+			p.stats.Misses[pd.chosen]++ //lint:idxsafe chosen in [0, Order] when ok; Misses has Order+2 slots
 		} else {
-			p.stats.Misses[p.cfg.Order+1]++
+			p.stats.Misses[p.cfg.Order+1]++ //lint:idxsafe Misses has Order+2 slots by construction
 		}
 	}
 
@@ -289,7 +290,7 @@ func (p *PPM) UpdateAlloc(_, target uint64, train bool) {
 			low = 0 // nothing predicted: every component learns the branch
 		}
 		for j := p.cfg.Order; j >= 1 && j >= low; j-- {
-			p.tables[j-1].train(pd.indices[j], pd.tag, target)
+			p.tables[j-1].train(pd.indices[j], pd.tag, target) //lint:idxsafe j in [1, Order]; tables and indices are Order and Order+1 long by construction
 		}
 		if low == 0 {
 			trainZero(&p.zero, target)

@@ -24,7 +24,7 @@ func (h Hysteresis) Value() uint8 { return h.v }
 
 // OnHit strengthens confidence after the stored target proved correct.
 //
-//ppm:hotpath
+//ppm:hotpath per-prediction counter state transition
 func (h *Hysteresis) OnHit() {
 	if h.v < 3 {
 		h.v++
@@ -36,7 +36,7 @@ func (h *Hysteresis) OnHit() {
 // happens when a miss arrives with the counter already at zero; the counter
 // is then reset to the weak state for the incoming target.
 //
-//ppm:hotpath
+//ppm:hotpath per-prediction counter state transition
 func (h *Hysteresis) OnMiss() (replace bool) {
 	if h.v == 0 {
 		h.v = 1
@@ -115,7 +115,7 @@ func (s Selection) State() uint8 { return s.state }
 
 // Selected returns the correlation type the branch currently uses.
 //
-//ppm:hotpath
+//ppm:hotpath per-prediction counter state transition
 func (s Selection) Selected() Correlation {
 	if s.state <= WeaklyPB {
 		return PB
@@ -129,7 +129,7 @@ func (s Selection) Selected() Correlation {
 // correlation type; dotted arcs (misprediction) move toward the other type —
 // one step in Normal mode, two steps from the PB side in PIBBiased mode.
 //
-//ppm:hotpath
+//ppm:hotpath per-prediction counter state transition
 func (s *Selection) Update(correct bool) {
 	if correct {
 		switch s.state {

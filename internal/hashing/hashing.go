@@ -15,7 +15,7 @@ import "math/bits"
 
 // Mask returns a mask of the n low-order bits. n must be <= 64.
 //
-//ppm:hotpath
+//ppm:hotpath per-lookup index-hash helper; runs once per table probe
 func Mask(n uint) uint64 {
 	if n >= 64 {
 		return ^uint64(0)
@@ -25,14 +25,14 @@ func Mask(n uint) uint64 {
 
 // Select extracts the n low-order bits of v.
 //
-//ppm:hotpath
+//ppm:hotpath per-lookup index-hash helper; runs once per table probe
 func Select(v uint64, n uint) uint64 { return v & Mask(n) }
 
 // Fold XOR-folds the in low-order bits of v into out bits by XORing
 // successive out-bit chunks together. If out >= in the value is returned
 // masked to in bits. out must be > 0.
 //
-//ppm:hotpath
+//ppm:hotpath per-lookup index-hash helper; runs once per table probe
 func Fold(v uint64, in, out uint) uint64 {
 	v = Select(v, in)
 	if out == 0 {
@@ -52,7 +52,7 @@ func Fold(v uint64, in, out uint) uint64 {
 // GShare forms a bits-wide index by XORing the branch address (shifted right
 // by 2 to drop the instruction alignment bits) with the history register.
 //
-//ppm:hotpath
+//ppm:hotpath per-lookup index-hash helper; runs once per table probe
 func GShare(history, pc uint64, n uint) uint64 {
 	return (history ^ (pc >> 2)) & Mask(n)
 }
@@ -68,7 +68,7 @@ func GShare(history, pc uint64, n uint) uint64 {
 // repository — the wrap never engages and the result is the plain
 // shift-XOR hash.
 //
-//ppm:hotpath
+//ppm:hotpath per-lookup index-hash helper; runs once per table probe
 func SFSX(targets []uint64, selBits, foldBits uint) uint64 {
 	var h uint64
 	for i, t := range targets {
@@ -91,7 +91,7 @@ func SFSX(targets []uint64, selBits, foldBits uint) uint64 {
 // ones present (early-execution warm-up), which matches a hardware PHR that
 // powers up zeroed.
 //
-//ppm:hotpath
+//ppm:hotpath per-lookup index-hash helper; runs once per table probe
 func SFSXS(targets []uint64, selBits, foldBits, order uint) uint64 {
 	if order == 0 {
 		return 0
@@ -101,8 +101,8 @@ func SFSXS(targets []uint64, selBits, foldBits, order uint) uint64 {
 		n = order
 	}
 	var h uint64
-	for i := uint(0); i < n; i++ {
-		h ^= Fold(targets[i]>>2, selBits, foldBits) << (order - 1 - i)
+	for i, t := range targets[:n] {
+		h ^= Fold(t>>2, selBits, foldBits) << (order - 1 - uint(i))
 	}
 	width := foldBits + order - 1
 	if width < order {
@@ -117,7 +117,7 @@ func SFSXS(targets []uint64, selBits, foldBits, order uint) uint64 {
 // The paper found little accuracy difference between the two; both are kept
 // so the claim can be checked experimentally.
 //
-//ppm:hotpath
+//ppm:hotpath per-lookup index-hash helper; runs once per table probe
 func SFSXSLow(targets []uint64, selBits, foldBits, order uint) uint64 {
 	if order == 0 {
 		return 0
@@ -127,8 +127,8 @@ func SFSXSLow(targets []uint64, selBits, foldBits, order uint) uint64 {
 		n = order
 	}
 	var h uint64
-	for i := uint(0); i < n; i++ {
-		h ^= Fold(targets[i]>>2, selBits, foldBits) << i
+	for i, t := range targets[:n] {
+		h ^= Fold(t>>2, selBits, foldBits) << uint(i)
 	}
 	return h & Mask(order)
 }
@@ -140,7 +140,7 @@ func SFSXSLow(targets []uint64, selBits, foldBits, order uint) uint64 {
 // target bits in the high-order index positions, spreading recent-path
 // information across the table.
 //
-//ppm:hotpath
+//ppm:hotpath per-lookup index-hash helper; runs once per table probe
 func ReverseInterleave(history uint64, historyBits uint, pc uint64, n uint) uint64 {
 	// The shift register keeps the most recent target in its low-order
 	// bits; bit-reversing within the n-bit window places those most
@@ -174,7 +174,7 @@ func ReverseInterleave(history uint64, historyBits uint, pc uint64, n uint) uint
 // table tags and workload hash functions from raw addresses. It is a
 // bijection on 64-bit values.
 //
-//ppm:hotpath
+//ppm:hotpath per-lookup index-hash helper; runs once per table probe
 func Mix64(x uint64) uint64 {
 	x ^= x >> 30
 	x *= 0xbf58476d1ce4e5b9

@@ -102,7 +102,7 @@ func (p *PHR) Depth() int { return len(p.ring) }
 // Observe shifts the record's target into the register if the record
 // belongs to the PHR's stream. It returns true if the register advanced.
 //
-//ppm:hotpath
+//ppm:hotpath per-record history-register shift
 func (p *PHR) Observe(r trace.Record) bool {
 	if !p.stream.Accepts(r) {
 		return false
@@ -113,7 +113,7 @@ func (p *PHR) Observe(r trace.Record) bool {
 
 // Push unconditionally shifts a target into the register.
 //
-//ppm:hotpath
+//ppm:hotpath per-record history-register shift
 func (p *PHR) Push(target uint64) {
 	p.head++
 	if p.head == len(p.ring) {
@@ -147,7 +147,7 @@ func (p *PHR) Len() int { return p.filled }
 // struct-owned scratch slice with capacity >= n so no allocation occurs;
 // undersized (or nil) dst grows once.
 //
-//ppm:hotpath
+//ppm:hotpath per-record history-register shift
 func (p *PHR) Recent(dst []uint64, n int) []uint64 {
 	if n > p.filled {
 		n = p.filled
@@ -157,8 +157,8 @@ func (p *PHR) Recent(dst []uint64, n int) []uint64 {
 	}
 	dst = dst[:n]
 	idx := p.head
-	for i := 0; i < n; i++ {
-		dst[i] = p.ring[idx]
+	for i := range dst {
+		dst[i] = p.ring[idx] //lint:idxsafe idx walks the ring down from head and wraps at 0, staying in [0, len)
 		idx--
 		if idx < 0 {
 			idx = len(p.ring) - 1
@@ -171,7 +171,7 @@ func (p *PHR) Recent(dst []uint64, n int) []uint64 {
 // target, most recent target in the least significant bits, truncated to
 // packedBits.
 //
-//ppm:hotpath
+//ppm:hotpath per-record history-register shift
 func (p *PHR) Packed() uint64 { return p.packed }
 
 // State is a snapshot of a PHR's contents, used by the workload generator

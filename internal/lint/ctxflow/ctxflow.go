@@ -37,12 +37,13 @@ var Analyzer = &lint.Analyzer{
 		"(escape: //lint:rootctx <reason>) and everywhere inside a function " +
 		"that already receives a ctx; a ctx parameter the body never uses is " +
 		"a dropped context",
-	Run: run,
+	Escape: "//lint:rootctx <reason>",
+	Run:    run,
 }
 
 func run(pass *lint.Pass) error {
 	for _, file := range pass.Files {
-		escapes := lint.EscapeLines(pass.Fset, file, RootctxDirective)
+		escapes := pass.EscapeLines(file, RootctxDirective)
 		lint.WalkStack(file, func(n ast.Node, stack []ast.Node) {
 			switch x := n.(type) {
 			case *ast.CallExpr:

@@ -50,6 +50,11 @@ func blessedRootInline() error {
 	return lookup(context.Background()) //lint:rootctx detached supervisor by design
 }
 
+// bareRoot escapes without a reason: suppressed, but rejected.
+func bareRoot() error {
+	return lookup(context.Background()) /*lint:rootctx*/ // want `//lint:rootctx directive needs a reason sentence`
+}
+
 // drops accepts a context and never consults it.
 func drops(ctx context.Context, n int) int { // want `never used`
 	return n * 2

@@ -36,9 +36,10 @@ import (
 
 // Analyzer is the determinism checker.
 var Analyzer = &lint.Analyzer{
-	Name: "determinism",
-	Doc:  "forbid wall-clock/global randomness and unordered map iteration that reaches output",
-	Run:  run,
+	Name:   "determinism",
+	Doc:    "forbid wall-clock/global randomness and unordered map iteration that reaches output",
+	Escape: "//lint:sorted <reason> (map order) or //lint:wallclock <reason> (time)",
+	Run:    run,
 }
 
 // bannedFuncs maps package path -> function names whose use breaks
@@ -54,8 +55,8 @@ var bannedFuncs = map[string][]string{
 
 func run(pass *lint.Pass) error {
 	for _, file := range pass.Files {
-		escapes := lint.EscapeLines(pass.Fset, file, "sorted")
-		wallclock := lint.EscapeLines(pass.Fset, file, "wallclock")
+		escapes := pass.EscapeLines(file, "sorted")
+		wallclock := pass.EscapeLines(file, "wallclock")
 		ast.Inspect(file, func(n ast.Node) bool {
 			if sel, ok := n.(*ast.SelectorExpr); ok {
 				checkBannedRef(pass, sel, wallclock)

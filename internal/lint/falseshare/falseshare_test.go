@@ -1,0 +1,11 @@
+package falseshare
+
+import (
+	"testing"
+
+	"repro/internal/lint/linttest"
+)
+
+func TestFalseshare(t *testing.T) {
+	linttest.Run(t, Analyzer, "testdata/src/a")
+}

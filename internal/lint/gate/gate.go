@@ -1,0 +1,169 @@
+// Package gate is the shared machinery of the compiler-diagnostic gates
+// (cmd/escapegate, cmd/bcegate, cmd/inlinegate): run the Go compiler with a
+// diagnostic flag over the hot-path packages, normalize the output into
+// stable keys, and compare the keyed counts against a checked-in baseline.
+//
+// Each gate owns its flag, its normalization and its baseline file; this
+// package owns the build invocation, the "<count>\t<key>" baseline format,
+// and the drift report — an added/removed diff plus the re-baseline hint,
+// so a failing gate tells the developer exactly which diagnostics appeared
+// and which budgeted ones are gone.
+package gate
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Diag is one normalized compiler diagnostic.
+type Diag struct {
+	// File is the path as the compiler printed it.
+	File string
+	// Msg is the diagnostic text after the position.
+	Msg string
+}
+
+// diagLine matches one compiler diagnostic: file.go:line:col: message.
+var diagLine = regexp.MustCompile(`^(.+\.go):\d+:(?:\d+:)? (.+)$`)
+
+// Build compiles pkgs with the given -gcflags value and returns every
+// parsed compiler diagnostic. The build cache replays compiler diagnostics,
+// so a warm cache still yields the full set.
+func Build(gcflags string, pkgs []string) ([]Diag, error) {
+	args := append([]string{"build", "-gcflags=" + gcflags}, pkgs...)
+	cmd := exec.Command("go", args...)
+	var stderr bytes.Buffer
+	cmd.Stdout = os.Stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		os.Stderr.Write(stderr.Bytes())
+		return nil, fmt.Errorf("go build: %v", err)
+	}
+
+	var diags []Diag
+	sc := bufio.NewScanner(&stderr)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		m := diagLine.FindStringSubmatch(strings.TrimSpace(sc.Text()))
+		if m == nil {
+			continue
+		}
+		diags = append(diags, Diag{File: m[1], Msg: m[2]})
+	}
+	return diags, sc.Err()
+}
+
+// Count folds diagnostics through match into key -> occurrence counts;
+// match returns the normalized key and whether the diagnostic is gated.
+func Count(diags []Diag, match func(Diag) (string, bool)) map[string]int {
+	counts := map[string]int{}
+	for _, d := range diags {
+		if key, ok := match(d); ok {
+			counts[key]++
+		}
+	}
+	return counts
+}
+
+// Write renders counts in the stable on-disk form — "<count>\t<key>" lines,
+// sorted — under the given "# "-prefixed header lines.
+func Write(path string, header []string, counts map[string]int) error {
+	var b strings.Builder
+	for _, h := range header {
+		b.WriteString("# ")
+		b.WriteString(h)
+		b.WriteString("\n")
+	}
+	for _, k := range sortedKeys(counts) {
+		fmt.Fprintf(&b, "%d\t%s\n", counts[k], k)
+	}
+	return os.WriteFile(path, []byte(b.String()), 0o644)
+}
+
+// Read parses the on-disk form back into key -> count.
+func Read(path string) (map[string]int, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	counts := map[string]int{}
+	for i, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		n, key, ok := strings.Cut(line, "\t")
+		c, err := strconv.Atoi(n)
+		if !ok || err != nil {
+			return nil, fmt.Errorf("%s:%d: malformed baseline line %q", path, i+1, line)
+		}
+		counts[key] += c
+	}
+	return counts, nil
+}
+
+// Total sums all occurrences.
+func Total(counts map[string]int) int {
+	n := 0
+	for _, c := range counts {
+		n += c
+	}
+	return n
+}
+
+// Diff compares the current counts against the baseline and prints the
+// drift as an added/removed diff: "+n key" for diagnostics above budget
+// (these fail the gate), "-n key" for budgeted diagnostics no longer
+// present (advisory slack). It reports whether the gate failed; on any
+// drift it prints the updateCmd re-baseline hint. Failure lines go to errw,
+// advisory lines to outw.
+func Diff(tool string, current, budget map[string]int, updateCmd string, outw, errw io.Writer) (failed bool) {
+	var added, removed []string
+	for _, k := range sortedKeys(current) {
+		if current[k] > budget[k] {
+			added = append(added, fmt.Sprintf("  +%d  %s", current[k]-budget[k], strings.ReplaceAll(k, "\t", ": ")))
+		}
+	}
+	for _, k := range sortedKeys(budget) {
+		if current[k] < budget[k] {
+			removed = append(removed, fmt.Sprintf("  -%d  %s", budget[k]-current[k], strings.ReplaceAll(k, "\t", ": ")))
+		}
+	}
+
+	if len(added) > 0 {
+		failed = true
+		fmt.Fprintf(errw, "%s: diagnostics above baseline:\n", tool)
+		for _, l := range added {
+			fmt.Fprintln(errw, l)
+		}
+	}
+	if len(removed) > 0 {
+		fmt.Fprintf(outw, "%s: note: baseline has slack (budgeted diagnostics no longer present):\n", tool)
+		for _, l := range removed {
+			fmt.Fprintln(outw, l)
+		}
+	}
+	if failed {
+		fmt.Fprintf(errw, "%s: fix the new diagnostics or, if intentional, run `%s` and commit the baseline diff\n", tool, updateCmd)
+	} else if len(removed) > 0 {
+		fmt.Fprintf(outw, "%s: note: run `%s` to tighten the baseline\n", tool, updateCmd)
+	}
+	return failed
+}
+
+func sortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

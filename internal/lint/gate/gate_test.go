@@ -1,0 +1,93 @@
+package gate
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestBaselineRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "x.baseline")
+	counts := map[string]int{
+		"a.go\tescapes to heap": 2,
+		"b.go\tmoved to heap":   1,
+	}
+	if err := Write(path, []string{"header one", "header two"}, counts); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(counts) {
+		t.Fatalf("round trip lost keys: %v != %v", got, counts)
+	}
+	for k, n := range counts {
+		if got[k] != n {
+			t.Errorf("key %q: got %d, want %d", k, got[k], n)
+		}
+	}
+}
+
+func TestReadMalformed(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.baseline")
+	if err := writeFile(path, "notanumber\tkey\n"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Read(path); err == nil {
+		t.Fatal("malformed baseline accepted")
+	}
+}
+
+func TestCount(t *testing.T) {
+	diags := []Diag{
+		{File: "a.go", Msg: "x escapes to heap"},
+		{File: "a.go", Msg: "x escapes to heap"},
+		{File: "b.go", Msg: "inlining call to f"},
+	}
+	counts := Count(diags, func(d Diag) (string, bool) {
+		if strings.HasSuffix(d.Msg, "escapes to heap") {
+			return d.File + "\t" + d.Msg, true
+		}
+		return "", false
+	})
+	if counts["a.go\tx escapes to heap"] != 2 || len(counts) != 1 {
+		t.Fatalf("unexpected counts: %v", counts)
+	}
+}
+
+func TestDiffAddedFailsRemovedAdvises(t *testing.T) {
+	current := map[string]int{"a.go\tnew": 1, "b.go\tsame": 2}
+	budget := map[string]int{"b.go\tsame": 2, "c.go\tgone": 3}
+	var out, errb bytes.Buffer
+
+	if !Diff("t", current, budget, "make t-update", &out, &errb) {
+		t.Fatal("added diagnostic did not fail the gate")
+	}
+	if !strings.Contains(errb.String(), "+1  a.go: new") {
+		t.Errorf("added diff missing: %q", errb.String())
+	}
+	if !strings.Contains(out.String(), "-3  c.go: gone") {
+		t.Errorf("removed diff missing: %q", out.String())
+	}
+	if !strings.Contains(errb.String(), "make t-update") {
+		t.Errorf("re-baseline hint missing: %q", errb.String())
+	}
+}
+
+func TestDiffCleanPasses(t *testing.T) {
+	counts := map[string]int{"a.go\tx": 1}
+	var out, errb bytes.Buffer
+	if Diff("t", counts, counts, "make t-update", &out, &errb) {
+		t.Fatal("identical counts failed the gate")
+	}
+	if out.Len() != 0 || errb.Len() != 0 {
+		t.Fatalf("clean diff printed output: %q %q", out.String(), errb.String())
+	}
+}
+
+func writeFile(path, content string) error {
+	return os.WriteFile(path, []byte(content), 0o644)
+}

@@ -30,13 +30,13 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
-	"strings"
 
 	"repro/internal/lint"
 )
 
-// DaemonDirective marks a goroutine as intentionally process-lifetime.
-const DaemonDirective = "ppm:daemon"
+// DaemonDirective (`//ppm:daemon`) marks a goroutine as intentionally
+// process-lifetime.
+const DaemonDirective = "daemon"
 
 // Analyzer reports go statements whose goroutine has no termination signal.
 var Analyzer = &lint.Analyzer{
@@ -45,7 +45,8 @@ var Analyzer = &lint.Analyzer{
 		"signal — a context.Context reference, a sync.WaitGroup Done/Wait, or " +
 		"a channel receive (unary, range, or select case) — or carry a " +
 		"//ppm:daemon <reason> annotation",
-	Run: run,
+	Escape: "//ppm:daemon <reason>",
+	Run:    run,
 }
 
 func run(pass *lint.Pass) error {
@@ -62,7 +63,9 @@ func run(pass *lint.Pass) error {
 	}
 
 	for _, file := range pass.Files {
-		daemons := daemonLines(pass.Fset, file)
+		// DirectiveLines also rejects bare //ppm:daemon annotations: the
+		// reason sentence is mandatory, uniformly with every other escape.
+		daemons := pass.DirectiveLines(file, DaemonDirective)
 		ast.Inspect(file, func(n ast.Node) bool {
 			gs, ok := n.(*ast.GoStmt)
 			if !ok {
@@ -75,32 +78,11 @@ func run(pass *lint.Pass) error {
 	return nil
 }
 
-// daemonLines maps each source line carrying a ppm:daemon directive to the
-// directive's reason text (possibly empty).
-func daemonLines(fset *token.FileSet, file *ast.File) map[int]string {
-	lines := map[int]string{}
-	for _, cg := range file.Comments {
-		for _, c := range cg.List {
-			if i := strings.Index(c.Text, DaemonDirective); i >= 0 {
-				reason := strings.TrimSpace(c.Text[i+len(DaemonDirective):])
-				lines[fset.Position(c.Pos()).Line] = reason
-			}
-		}
-	}
-	return lines
-}
-
 // checkGo validates one go statement.
-func checkGo(pass *lint.Pass, gs *ast.GoStmt, daemons map[int]string, decls map[types.Object]*ast.FuncDecl) {
+func checkGo(pass *lint.Pass, gs *ast.GoStmt, daemons map[int]bool, decls map[types.Object]*ast.FuncDecl) {
 	// Annotation on the statement line or the line above.
-	line := pass.Fset.Position(gs.Pos()).Line
-	for _, l := range []int{line, line - 1} {
-		if reason, ok := daemons[l]; ok {
-			if reason == "" {
-				pass.Reportf(gs.Pos(), "//ppm:daemon needs a justification sentence explaining why this goroutine may outlive its spawner")
-			}
-			return
-		}
+	if lint.Escaped(pass.Fset, daemons, gs.Pos()) {
+		return
 	}
 
 	var body *ast.BlockStmt
@@ -110,7 +92,7 @@ func checkGo(pass *lint.Pass, gs *ast.GoStmt, daemons map[int]string, decls map[
 	default:
 		if obj := lint.ObjectOf(pass.TypesInfo, gs.Call.Fun); obj != nil {
 			if fd, ok := decls[obj]; ok {
-				if hasDaemonDoc(fd, daemons, pass.Fset) {
+				if hasDaemonDoc(fd) {
 					return
 				}
 				body = fd.Body
@@ -127,17 +109,15 @@ func checkGo(pass *lint.Pass, gs *ast.GoStmt, daemons map[int]string, decls map[
 }
 
 // hasDaemonDoc reports whether the spawned function's doc comment carries a
-// ppm:daemon directive with a reason. A reasonless directive on the doc is
-// reported at the declaration via the daemons map check at the go site, so
-// here an empty reason still suppresses the leak finding but not silently:
-// the directive line itself was already recorded by daemonLines, and the
-// check below demands the reason.
-func hasDaemonDoc(fd *ast.FuncDecl, daemons map[int]string, fset *token.FileSet) bool {
+// //ppm:daemon directive. A reasonless directive still suppresses the leak
+// finding, but not silently: DirectiveLines already reported the bare
+// directive when its file was scanned.
+func hasDaemonDoc(fd *ast.FuncDecl) bool {
 	if fd.Doc == nil {
 		return false
 	}
 	for _, c := range fd.Doc.List {
-		if strings.Contains(c.Text, DaemonDirective) {
+		if prefix, name, _, ok := lint.ParseDirective(c.Text); ok && prefix == "ppm" && name == DaemonDirective {
 			return true
 		}
 	}

@@ -128,10 +128,11 @@ func inlineDaemon() {
 	}()
 }
 
-// bareDirective omits the mandatory justification sentence.
+// bareDirective omits the mandatory reason sentence: the leak finding stays
+// suppressed, but the bare annotation is itself rejected.
 func bareDirective() {
-	//ppm:daemon
-	go func() { // want `justification sentence`
+	/*ppm:daemon*/ // want `//ppm:daemon directive needs a reason sentence`
+	go func() {
 		for {
 			process(6)
 		}

@@ -36,8 +36,9 @@ var Analyzer = &lint.Analyzer{
 	Doc: "report allocation sources (make/append/new, map writes, boxing, " +
 		"closures, defer, fmt/strconv, range-over-map) in functions reachable " +
 		"from predictor Predict/Update/Lookup/Observe roots or //ppm:hotpath " +
-		"annotations; suppress cold branches with //lint:coldpath",
-	Run: run,
+		"annotations; suppress cold branches with //lint:coldpath <reason>",
+	Escape: "//lint:coldpath <reason>",
+	Run:    run,
 }
 
 // coldDirective is the per-line escape hatch for cold branches inside hot
@@ -52,6 +53,14 @@ var allocPackages = map[string]bool{
 }
 
 func run(pass *lint.Pass) error {
+	// The hot-set annotations are escape-grade directives: a bare
+	// //ppm:hotpath or //ppm:coldpath with no reason sentence is rejected
+	// even in files whose hot set is otherwise empty.
+	for _, file := range pass.Files {
+		pass.DirectiveLines(file, hotset.HotpathDirective)
+		pass.DirectiveLines(file, hotset.ColdpathDirective)
+	}
+
 	hot, cold := hotset.Compute(pass)
 	if len(hot) == 0 {
 		return nil
@@ -60,7 +69,7 @@ func run(pass *lint.Pass) error {
 	escapes := map[*ast.File]map[int]bool{}
 	for _, hf := range hot {
 		if escapes[hf.File] == nil {
-			escapes[hf.File] = lint.EscapeLines(pass.Fset, hf.File, coldDirective)
+			escapes[hf.File] = pass.EscapeLines(hf.File, coldDirective)
 		}
 		checkFunc(pass, hf, escapes[hf.File], cold)
 	}

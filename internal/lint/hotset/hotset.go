@@ -30,12 +30,12 @@ import (
 	"repro/internal/lint"
 )
 
-// HotpathDirective marks a function as a hot-path root when it appears in
-// the function's doc comment.
-const HotpathDirective = "ppm:hotpath"
+// HotpathDirective marks a function as a hot-path root when `//ppm:hotpath`
+// opens a line of the function's doc comment.
+const HotpathDirective = "hotpath"
 
-// ColdpathDirective excludes a function from the hot set.
-const ColdpathDirective = "ppm:coldpath"
+// ColdpathDirective (`//ppm:coldpath`) excludes a function from the hot set.
+const ColdpathDirective = "coldpath"
 
 // predictorPath is the package defining the predictor contract.
 const predictorPath = "repro/internal/predictor"
@@ -113,12 +113,12 @@ func Compute(pass *lint.Pass) (hot []*Func, cold map[types.Object]bool) {
 	for obj, di := range decls {
 		fd := di.decl
 		if hasDirective(fd, HotpathDirective) {
-			add(obj, funcLabel(fd))
+			add(obj, Label(fd))
 			continue
 		}
 		if iface != nil && fd.Recv != nil && rootMethodNames[fd.Name.Name] &&
 			receiverImplements(pass, fd, iface) {
-			add(obj, funcLabel(fd))
+			add(obj, Label(fd))
 		}
 	}
 
@@ -150,21 +150,22 @@ func Compute(pass *lint.Pass) (hot []*Func, cold map[types.Object]bool) {
 }
 
 // hasDirective reports whether the function's doc comment carries the
-// given ppm: directive.
+// given //ppm:<directive> annotation.
 func hasDirective(fd *ast.FuncDecl, directive string) bool {
 	if fd.Doc == nil {
 		return false
 	}
 	for _, c := range fd.Doc.List {
-		if strings.Contains(c.Text, directive) {
+		if prefix, name, _, ok := lint.ParseDirective(c.Text); ok && prefix == "ppm" && name == directive {
 			return true
 		}
 	}
 	return false
 }
 
-// funcLabel renders a function's display name, e.g. "(*PPM).Predict".
-func funcLabel(fd *ast.FuncDecl) string {
+// Label renders a function's display name exactly as the compiler prints
+// it in -m diagnostics, e.g. "(*PPM).Predict", "Hysteresis.Value" or "SFSXS".
+func Label(fd *ast.FuncDecl) string {
 	if fd.Recv == nil || len(fd.Recv.List) == 0 {
 		return fd.Name.Name
 	}

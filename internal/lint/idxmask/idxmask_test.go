@@ -1,0 +1,11 @@
+package idxmask
+
+import (
+	"testing"
+
+	"repro/internal/lint/linttest"
+)
+
+func TestIdxmask(t *testing.T) {
+	linttest.Run(t, Analyzer, "testdata/src/a")
+}

@@ -1,0 +1,83 @@
+// Package a is the idxmask fixture: hot-path table indices in every safe
+// derivation shape (mask, modulus, range, len-comparison, bound field,
+// index helper) plus the unsafe shapes the analyzer must flag and the
+// //lint:idxsafe escape.
+package a
+
+import (
+	"repro/internal/predictor"
+	"repro/internal/trace"
+)
+
+// Table is a direct-mapped predictor table; its methods are hot roots.
+type Table struct {
+	slots   []uint64
+	tags    []uint64
+	ring    []uint64
+	head    int
+	pending int
+	raw     uint64
+}
+
+var _ predictor.IndirectPredictor = (*Table)(nil)
+
+// Name identifies the predictor.
+func (t *Table) Name() string { return "table" }
+
+// index is the single-return helper convention: callers inherit its proof.
+func (t *Table) index(pc uint64) uint64 {
+	return (pc >> 2) & uint64(len(t.slots)-1)
+}
+
+// Predict exercises the safe shapes.
+func (t *Table) Predict(pc uint64) (uint64, bool) {
+	idx := t.index(pc)                      // helper whose return is masked
+	v := t.slots[idx]                       // safe: binding traces to the helper
+	v ^= t.slots[pc&uint64(len(t.slots)-1)] // safe: explicit mask
+	v ^= t.tags[pc%uint64(len(t.tags))]     // safe: modulus by len
+	v ^= t.slots[0]                         // safe: constant
+	v ^= t.slots[len(t.slots)-1]            // safe: last-slot idiom
+	for i := range t.tags {
+		v ^= t.tags[i] // safe: range index
+	}
+	return v, v != 0
+}
+
+// Update exercises the comparison-bounded and mutating shapes.
+func (t *Table) Update(pc, target uint64) {
+	t.ring[t.head] = target // safe: head is compared against len(ring) below
+	t.head++
+	if t.head == len(t.ring) {
+		t.head = 0
+	}
+	t.slots[pc] = target // want `index "pc" into "t.slots" is not provably in-bounds`
+}
+
+// Lookup exercises the unsafe shapes.
+func (t *Table) Lookup(pc uint64) uint64 {
+	h := pc * 0x9e3779b97f4a7c15
+	x := t.slots[h] // want `index "h" into "t.slots" is not provably in-bounds`
+	t.raw = h
+	x ^= t.slots[t.raw] // want `index "t.raw" into "t.slots" is not provably in-bounds`
+	sum := pc + 1
+	x ^= t.slots[sum] // want `index "sum" into "t.slots" is not provably in-bounds`
+	return x
+}
+
+// Observe exercises the escape hatch.
+func (t *Table) Observe(r trace.Record) {
+	t.pending = reorder(t.pending)
+	t.slots[t.pending] = r.PC //lint:idxsafe reorder permutes within [0, len) by contract
+	t.tags[t.pending] = r.PC  /*lint:idxsafe*/ // want `//lint:idxsafe directive needs a reason sentence`
+}
+
+// reorder is opaque to the analyzer: multiple statements, no provable bound.
+func reorder(i int) int {
+	j := i * 3
+	return j
+}
+
+// coldIndex is not hot: unproven indices outside the hot set are ignored.
+func coldIndex(s []uint64, i uint64) uint64 {
+	return s[i]
+}

@@ -26,8 +26,9 @@ var Analyzer = &lint.Analyzer{
 	Name: "ifacecall",
 	Doc: "report dynamic dispatch inside loops of hot-path functions where " +
 		"exactly one concrete type in scope implements the interface, " +
-		"suggesting devirtualization; suppress with //lint:dynamic",
-	Run: run,
+		"suggesting devirtualization; suppress with //lint:dynamic <reason>",
+	Escape: "//lint:dynamic <reason>",
+	Run:    run,
 }
 
 // dynDirective suppresses a finding for dispatch that is dynamic on purpose.
@@ -44,7 +45,7 @@ func run(pass *lint.Pass) error {
 
 	for _, hf := range hot {
 		if escapes[hf.File] == nil {
-			escapes[hf.File] = lint.EscapeLines(pass.Fset, hf.File, dynDirective)
+			escapes[hf.File] = pass.EscapeLines(hf.File, dynDirective)
 		}
 		esc := escapes[hf.File]
 		lint.WalkStack(hf.Decl.Body, func(n ast.Node, stack []ast.Node) {

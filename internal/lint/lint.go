@@ -29,6 +29,10 @@ type Analyzer struct {
 	Name string
 	// Doc is the one-paragraph description printed by `ppmlint -help`.
 	Doc string
+	// Escape documents the analyzer's escape-hatch directive, e.g.
+	// "//lint:sorted <reason>", for the -json diagnostic stream and usage
+	// output. Empty when the analyzer has no escape.
+	Escape string
 	// Run applies the analyzer to one package.
 	Run func(*Pass) error
 }
@@ -50,6 +54,9 @@ type Diagnostic struct {
 	Pos      token.Position
 	Analyzer string
 	Message  string
+	// Escape carries the reporting analyzer's escape-hatch directive (or ""),
+	// so machine consumers of the -json stream can offer the annotation.
+	Escape string
 }
 
 func (d Diagnostic) String() string {
@@ -62,6 +69,7 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
 		Pos:      p.Fset.Position(pos),
 		Analyzer: p.Analyzer.Name,
 		Message:  fmt.Sprintf(format, args...),
+		Escape:   p.Analyzer.Escape,
 	})
 }
 
@@ -116,18 +124,69 @@ func WalkStack(root ast.Node, fn func(n ast.Node, stack []ast.Node)) {
 	})
 }
 
+// ParseDirective recognizes a `//lint:<name> <reason>` or `//ppm:<name>
+// <reason>` annotation comment. The directive must open the comment (mentions
+// in prose or doc text do not count); the reason is the text after the name,
+// with leading separator punctuation (spaces, dashes, colons) stripped.
+func ParseDirective(text string) (prefix, name, reason string, ok bool) {
+	body, found := strings.CutPrefix(text, "//")
+	if !found {
+		// The /*lint:x*/ block form is accepted so a directive can share a
+		// line with other comments (fixtures rely on this).
+		body, found = strings.CutPrefix(text, "/*")
+		if !found {
+			return "", "", "", false
+		}
+		body = strings.TrimSuffix(body, "*/")
+	}
+	body = strings.TrimLeft(body, " \t")
+	for _, p := range []string{"lint", "ppm"} {
+		rest, found := strings.CutPrefix(body, p+":")
+		if !found {
+			continue
+		}
+		i := 0
+		for i < len(rest) && (rest[i] == '-' || rest[i] == '_' ||
+			('a' <= rest[i] && rest[i] <= 'z') || ('0' <= rest[i] && rest[i] <= '9')) {
+			i++
+		}
+		if i == 0 {
+			return "", "", "", false
+		}
+		return p, rest[:i], strings.TrimSpace(strings.TrimLeft(rest[i:], " \t—–-:")), true
+	}
+	return "", "", "", false
+}
+
 // EscapeLines collects the source lines carrying a `//lint:<directive>`
 // escape-hatch comment in file. A directive suppresses findings anchored on
 // its own line or the line immediately below it (so it can be written either
 // at the end of the offending line or on the line above).
-func EscapeLines(fset *token.FileSet, file *ast.File, directive string) map[int]bool {
+//
+// Every escape must justify itself: an occurrence whose reason sentence is
+// missing is itself reported, uniformly across analyzers, though it still
+// suppresses the underlying finding so the fix is one edit, not two.
+func (p *Pass) EscapeLines(file *ast.File, directive string) map[int]bool {
+	return directiveLines(p, file, "lint", directive)
+}
+
+// DirectiveLines is EscapeLines for `//ppm:<directive>` annotations.
+func (p *Pass) DirectiveLines(file *ast.File, directive string) map[int]bool {
+	return directiveLines(p, file, "ppm", directive)
+}
+
+func directiveLines(pass *Pass, file *ast.File, wantPrefix, directive string) map[int]bool {
 	lines := map[int]bool{}
-	marker := "lint:" + directive
 	for _, cg := range file.Comments {
 		for _, c := range cg.List {
-			if strings.Contains(c.Text, marker) {
-				lines[fset.Position(c.Pos()).Line] = true
+			prefix, name, reason, ok := ParseDirective(c.Text)
+			if !ok || prefix != wantPrefix || name != directive {
+				continue
 			}
+			if reason == "" {
+				pass.Reportf(c.Pos(), "//%s:%s directive needs a reason sentence", prefix, name)
+			}
+			lines[pass.Fset.Position(c.Pos()).Line] = true
 		}
 	}
 	return lines

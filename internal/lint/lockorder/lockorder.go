@@ -51,7 +51,8 @@ var Analyzer = &lint.Analyzer{
 		"operations — channel ops, net/os I/O, WaitGroup.Wait, " +
 		"sim.Engine.Process, tracecache.Get, sched Map/Simulate " +
 		"(//lint:lockheld escapes a justified blocking op)",
-	Run: run,
+	Escape: "//lint:lockheld <reason>",
+	Run:    run,
 }
 
 // event is one lock-relevant step of a linearized function body.
@@ -90,7 +91,7 @@ func run(pass *lint.Pass) error {
 	escapes := map[string]map[int]bool{}
 	for _, file := range pass.Files {
 		name := pass.Fset.Position(file.Pos()).Filename
-		escapes[name] = lint.EscapeLines(pass.Fset, file, LockheldDirective)
+		escapes[name] = pass.EscapeLines(file, LockheldDirective)
 	}
 	escaped := func(pos token.Pos) bool {
 		p := pass.Fset.Position(pos)

@@ -99,6 +99,13 @@ func (s *Server) signalsUnderLock() {
 	s.sem <- struct{}{} //lint:lockheld sem is buffered to len(jobs); send cannot block here
 }
 
+// bareSignalsUnderLock escapes without a reason: suppressed, but rejected.
+func (s *Server) bareSignalsUnderLock() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.sem <- struct{}{} /*lint:lockheld*/ // want `//lint:lockheld directive needs a reason sentence`
+}
+
 // spawnsUnderLock starts a goroutine while holding the lock. The goroutine
 // body blocks, but on its own stack — no finding in the spawner, and the
 // literal's own scope holds nothing.

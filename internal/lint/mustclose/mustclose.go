@@ -34,7 +34,8 @@ var Analyzer = &lint.Analyzer{
 	Doc: "Close/Flush/Shutdown/Sync calls returning an error must not be " +
 		"discarded (bare statement, defer, go); Close on a pure reader is " +
 		"exempt, anything else escapes with //lint:closeerr <reason>",
-	Run: run,
+	Escape: "//lint:closeerr <reason>",
+	Run:    run,
 }
 
 // cleanupNames are the method names whose error return signals lost work.
@@ -47,7 +48,7 @@ var cleanupNames = map[string]bool{
 
 func run(pass *lint.Pass) error {
 	for _, file := range pass.Files {
-		escapes := lint.EscapeLines(pass.Fset, file, CloseerrDirective)
+		escapes := pass.EscapeLines(file, CloseerrDirective)
 		ast.Inspect(file, func(n ast.Node) bool {
 			var call *ast.CallExpr
 			verb := "discarded"

@@ -69,6 +69,11 @@ func annotatedAbove(f *os.File) {
 	defer f.Close()
 }
 
+// bareAnnotated escapes without a reason: suppressed, but rejected.
+func bareAnnotated(f *os.File) {
+	defer f.Close() /*lint:closeerr*/ // want `//lint:closeerr directive needs a reason sentence`
+}
+
 // noErrorFlush has no error result to discard (http.Flusher).
 func noErrorFlush(f http.Flusher) {
 	f.Flush()

@@ -63,7 +63,7 @@ func mix(x uint64) uint64 {
 // measurement device, not a hardware model: its unbounded map lookups are
 // exempt from the hot-path purity rules.
 //
-//ppm:coldpath
+//ppm:coldpath measurement-only oracle: unbounded bookkeeping is not hardware
 func (o *Oracle) Predict(pc uint64) (uint64, bool) {
 	k := o.key(pc)
 	o.pending = k
@@ -73,12 +73,12 @@ func (o *Oracle) Predict(pc uint64) (uint64, bool) {
 
 // Update implements predictor.IndirectPredictor.
 //
-//ppm:coldpath
+//ppm:coldpath measurement-only oracle: unbounded bookkeeping is not hardware
 func (o *Oracle) Update(_, target uint64) { o.table[o.pending] = target }
 
 // Observe implements predictor.IndirectPredictor.
 //
-//ppm:coldpath
+//ppm:coldpath measurement-only oracle: unbounded bookkeeping is not hardware
 func (o *Oracle) Observe(r trace.Record) { o.hist.Observe(r) }
 
 // Contexts returns the number of distinct (pc, path) contexts recorded.

@@ -42,7 +42,7 @@ func NewBIU(mode counter.SelectionMode, limit int) *BIU {
 
 // Lookup returns the entry for pc, or nil if the branch has not been seen.
 //
-//ppm:hotpath
+//ppm:hotpath per-branch BIU probe on the lookup path
 func (b *BIU) Lookup(pc uint64) *BIUEntry { return b.entries[pc] }
 
 // Ensure returns the entry for pc, allocating one (initialized to
@@ -50,19 +50,29 @@ func (b *BIU) Lookup(pc uint64) *BIUEntry { return b.entries[pc] }
 // once per static branch — first touch, like a hardware table fill — so it
 // is cold by construction; steady state takes the map-hit early return.
 //
-//ppm:hotpath
+//ppm:hotpath per-branch BIU probe on the lookup path
 func (b *BIU) Ensure(pc uint64) *BIUEntry {
 	if e, ok := b.entries[pc]; ok {
 		return e
 	}
-	e := &BIUEntry{Sel: counter.NewSelection(b.mode)} //lint:coldpath — first touch
-	b.entries[pc] = e                                 //lint:coldpath
+	return b.ensureSlow(pc) //lint:coldpath — first touch of a new static branch
+}
+
+// ensureSlow allocates the entry for an unseen branch and applies the FIFO
+// eviction of a bounded BIU. Outlined from Ensure so the steady-state map
+// hit stays under the compiler's inlining budget.
+//
+//ppm:coldpath first-touch allocation and eviction run once per static branch
+//go:noinline
+func (b *BIU) ensureSlow(pc uint64) *BIUEntry {
+	e := &BIUEntry{Sel: counter.NewSelection(b.mode)}
+	b.entries[pc] = e
 	if b.limit > 0 {
-		b.order = append(b.order, pc) //lint:coldpath
+		b.order = append(b.order, pc)
 		if len(b.entries) > b.limit {
 			victim := b.order[0]
 			b.order = b.order[1:]
-			delete(b.entries, victim) //lint:coldpath — bounded-BIU eviction
+			delete(b.entries, victim)
 			b.evictions++
 		}
 	}
@@ -71,7 +81,7 @@ func (b *BIU) Ensure(pc uint64) *BIUEntry {
 
 // Observe records the annotation bit carried by a committed branch record.
 //
-//ppm:hotpath
+//ppm:hotpath per-branch BIU probe on the lookup path
 func (b *BIU) Observe(r trace.Record) {
 	if !r.Class.Indirect() {
 		return

@@ -67,7 +67,7 @@ func (s *Stack) Pop() (uint64, bool) {
 // whether a prediction was made, for Return records; other classes return
 // ok=false.
 //
-//ppm:hotpath
+//ppm:hotpath per-call stack push/pop on the lookup path
 func (s *Stack) Process(r trace.Record) (predicted uint64, ok bool) {
 	switch r.Class {
 	case trace.IndirectJsr, trace.JsrCoroutine, trace.DirectCall:

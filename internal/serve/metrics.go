@@ -157,19 +157,35 @@ func (l *latencySketch) quantiles() (p50, p99 float64) {
 	return l.p50.Quantile(), l.p99.Quantile()
 }
 
+// lineUint64 is an atomic.Uint64 alone on its cache line: the blank tail
+// keeps the next field off the line, so concurrent writers bumping
+// different counters never ping-pong a shared line. Embedding keeps the
+// atomic's method set on the field.
+type lineUint64 struct {
+	atomic.Uint64
+	_ [56]byte
+}
+
+// lineInt64 is the signed variant, for gauges.
+type lineInt64 struct {
+	atomic.Int64
+	_ [56]byte
+}
+
 // metrics is the server's counter block. Everything is atomic so hot
-// handlers never contend on a stats mutex.
+// handlers never contend on a stats mutex, and every counter owns its cache
+// line so they do not false-share either.
 type metrics struct {
-	started   atomic.Uint64 // jobs admitted and started
-	completed atomic.Uint64 // jobs that reached StateDone
-	cancelled atomic.Uint64 // client cancels + drain aborts
-	failed    atomic.Uint64 // deadline or internal failures
-	rejected  atomic.Uint64 // 429 responses (admission + saturation)
-	evicted   atomic.Uint64 // TTL/capacity table evictions
-	cells     atomic.Uint64 // simulation cells completed
-	queued    atomic.Int64  // cells waiting on a simulation slot
-	uploads   atomic.Uint64 // trace-upload jobs accepted
-	badUpload atomic.Uint64 // uploads rejected as truncated/corrupt
+	started   lineUint64 // jobs admitted and started
+	completed lineUint64 // jobs that reached StateDone
+	cancelled lineUint64 // client cancels + drain aborts
+	failed    lineUint64 // deadline or internal failures
+	rejected  lineUint64 // 429 responses (admission + saturation)
+	evicted   lineUint64 // TTL/capacity table evictions
+	cells     lineUint64 // simulation cells completed
+	queued    lineInt64  // cells waiting on a simulation slot
+	uploads   lineUint64 // trace-upload jobs accepted
+	badUpload lineUint64 // uploads rejected as truncated/corrupt
 	latency   *latencySketch
 }
 

@@ -56,7 +56,7 @@ type ValueAware interface {
 
 // Process feeds one committed branch record to every predictor.
 //
-//ppm:hotpath
+//ppm:hotpath per-record engine step driving every predictor
 func (e *Engine) Process(r trace.Record) {
 	e.records++
 	e.instrs += uint64(r.Gap) + 1

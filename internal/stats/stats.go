@@ -23,7 +23,7 @@ type Counters struct {
 
 // Record accumulates one prediction outcome.
 //
-//ppm:hotpath
+//ppm:hotpath per-record misprediction accounting
 func (c *Counters) Record(predicted, ok bool) {
 	c.Lookups++
 	switch {

@@ -84,7 +84,7 @@ func (t *TargetCache) Predict(pc uint64) (uint64, bool) {
 	idx := t.index(pc)
 	t.pending = idx
 	t.pendingTag = hashing.Mix64(pc>>2) >> 40
-	e := t.table[idx]
+	e := t.table[idx] //lint:idxsafe GShare truncates to floor(log2(len(table))) bits, so idx < len(table)
 	if !e.valid {
 		return 0, false
 	}
@@ -97,7 +97,7 @@ func (t *TargetCache) Predict(pc uint64) (uint64, bool) {
 // Update implements predictor.IndirectPredictor. The Target Cache always
 // installs the actual target — no replacement hysteresis.
 func (t *TargetCache) Update(_, target uint64) {
-	t.table[t.pending] = tcEntry{valid: true, tag: t.pendingTag, target: target}
+	t.table[t.pending] = tcEntry{valid: true, tag: t.pendingTag, target: target} //lint:idxsafe pending holds the GShare-truncated index Predict stored
 }
 
 // Observe implements predictor.IndirectPredictor.
