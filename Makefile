@@ -4,7 +4,7 @@
 GO      ?= go
 FUZZTIME ?= 30s
 
-.PHONY: all build test race lint fmt vet ppmlint lint-concurrency lint-codegen escapes-check escapes-update bce-check bce-update inline-check inline-update gates bench bench-experiments parallel-smoke serve-smoke check-quick check fuzz-smoke ci
+.PHONY: all build test race lint fmt vet ppmlint lint-concurrency lint-codegen escapes-check escapes-update bce-check bce-update inline-check inline-update gates bench bench-experiments bench-blocks parallel-smoke block-smoke serve-smoke check-quick check fuzz-smoke ci
 
 all: build
 
@@ -80,10 +80,17 @@ bench:
 	$(GO) run ./cmd/benchjson -out BENCH_predictors.json
 
 # Benchmark the full experiment grid serial-without-cache vs parallel-with-
-# cache and refresh the checked-in snapshot (wall-clocks, derived speedup,
-# cache traffic). The ns/op numbers reflect the host's core count.
+# cache vs the batched block engine, and refresh the checked-in snapshot
+# (wall-clocks, derived speedups, cache traffic). The ns/op numbers reflect
+# the host's core count.
 bench-experiments:
 	$(GO) run ./cmd/benchjson -experiments -out BENCH_experiments.json
+
+# Just the block-engine rows of the grid benchmark, printed to stdout: a
+# quick local read on the single-core blocks-vs-serial speedup without
+# rewriting the full snapshot (that is `make bench-experiments`).
+bench-blocks:
+	$(GO) run ./cmd/benchjson -experiments -bench '^BenchmarkExperiments/(serial-nocache|blocks-j1-cached)$$' -out -
 
 # The parallel runner's correctness gate: byte-identical output across -j,
 # single generation per trace, and the scheduler/cache under the race
@@ -91,6 +98,17 @@ bench-experiments:
 parallel-smoke:
 	$(GO) test -run 'TestParallelDeterminism|TestDisabledCacheMatchesSerial' ./cmd/experiments
 	$(GO) test -race ./internal/tracecache ./internal/sched
+	$(GO) run -race ./cmd/experiments -all -events 2000 -j 4 -cachestats > /dev/null
+
+# The block engine's correctness gate: the batched columnar path must render
+# byte-identical reports to the record engine at every worker count and
+# cache mode, stay allocation-free in steady state, and hold up under the
+# race detector with concurrent block conversions — plus a short full-grid
+# smoke through the default -blocks path.
+block-smoke:
+	$(GO) test -run 'TestBlockEngineMatchesRecordEngine' ./cmd/experiments
+	$(GO) test -run 'TestBlockEngineZeroAllocSteadyState' ./internal/bench
+	$(GO) test -race -run 'TestGetBlocks' ./internal/tracecache
 	$(GO) run -race ./cmd/experiments -all -events 2000 -j 4 -cachestats > /dev/null
 
 # End-to-end gate for the serving subsystem: boots a real ppmserved on an
@@ -121,4 +139,4 @@ check:
 fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzReader -fuzztime=$(FUZZTIME) ./internal/trace
 
-ci: build lint lint-concurrency lint-codegen gates race parallel-smoke serve-smoke check-quick fuzz-smoke
+ci: build lint lint-concurrency lint-codegen gates race parallel-smoke block-smoke serve-smoke check-quick fuzz-smoke

@@ -12,11 +12,13 @@
 // is identical across machines; only the ns/op column reflects the host.
 //
 // With -experiments it instead runs BenchmarkExperiments in
-// cmd/experiments at -benchtime=1x: one serial-nocache pass (the pre-cache
-// baseline) and one parallel-j4-cached pass over the full -all -ext grid.
-// The snapshot (`make bench-experiments` → BENCH_experiments.json) records
-// both wall-clocks, the derived serial/parallel speedup, and the cache
-// traffic metrics proving each suite trace was generated exactly once.
+// cmd/experiments at -benchtime=1x: the serial-nocache pass (the pre-cache
+// record-engine baseline), the record engine's parallel-j4-cached pass, and
+// the block engine's blocks-j1-cached / blocks-j4-cached passes over the
+// full -all -ext grid. The snapshot (`make bench-experiments` →
+// BENCH_experiments.json) records every wall-clock, the derived
+// serial/parallel and serial/blocks speedups, and the cache traffic metrics
+// proving each suite trace was generated exactly once.
 //
 // The determinism analyzer bans time.Now outside tests, so all timing
 // comes from the testing framework's benchmark clock, parsed from ns/op.
@@ -87,8 +89,11 @@ func main() {
 
 	payload := map[string]any{"benchmarks": results}
 	if *experiments {
-		if s, ok := speedup(results); ok {
+		if s, ok := speedup(results, "parallel-j4-cached"); ok {
 			payload["speedup_serial_over_parallel"] = s
+		}
+		if s, ok := speedup(results, "blocks-j1-cached"); ok {
+			payload["speedup_serial_over_blocks_j1"] = s
 		}
 	}
 	data, err := json.MarshalIndent(payload, "", "  ")
@@ -109,25 +114,27 @@ func main() {
 	fmt.Printf("benchjson: wrote %d benchmark rows to %s\n", len(results), *out)
 }
 
-// speedup derives serial-nocache ns/op over parallel-j4-cached ns/op, the
-// acceptance number of the parallel-runner PR: how much faster one full
-// experiment grid completes with the scheduler and trace cache on.
-func speedup(results []result) (float64, bool) {
-	var serial, parallel float64
+// speedup derives serial-nocache ns/op over the named variant's ns/op —
+// how much faster one full experiment grid completes with that
+// optimisation line on. parallel-j4-cached was the acceptance number of
+// the parallel-runner PR; blocks-j1-cached is the single-core acceptance
+// number of the block-engine PR.
+func speedup(results []result, variant string) (float64, bool) {
+	var serial, opt float64
 	for _, r := range results {
 		switch r.Name {
 		case "serial-nocache":
 			serial = r.NsPerOp
-		case "parallel-j4-cached":
-			parallel = r.NsPerOp
+		case variant:
+			opt = r.NsPerOp
 		}
 	}
-	if serial <= 0 || parallel <= 0 {
+	if serial <= 0 || opt <= 0 {
 		return 0, false
 	}
 	// Two decimals: the snapshot is checked in, and sub-percent jitter
 	// would churn it on every regeneration.
-	return float64(int(100*serial/parallel+0.5)) / 100, true
+	return float64(int(100*serial/opt+0.5)) / 100, true
 }
 
 // parse extracts rows from `go test -bench` output. A -benchmem line looks

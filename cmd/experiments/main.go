@@ -20,6 +20,14 @@
 // trace is generated at most once per process through the shared trace
 // cache (-cachemb bounds its memory, -tracecache=false disables it).
 // Output is byte-identical at every -j.
+//
+// By default cells replay through the batched block engine: traces are
+// pre-decoded once into columnar blocks (cached alongside the records) and
+// each predictor consumes a whole block per virtual call, with index lanes
+// letting most predictors skip straight to the records they observe.
+// -blocks=false falls back to the record-at-a-time engine; the two paths
+// are byte-identical (enforced by the ppmcheck blocks-vs-records suite and
+// the engine-identity test), so the flag only changes wall-clock time.
 package main
 
 import (
@@ -50,12 +58,19 @@ type env struct {
 	suite []workload.Config
 	cache *tracecache.Cache
 	pool  *sched.Pool
+	// blocks selects the batched block engine: cells replay pre-decoded
+	// columnar blocks via sched.SimulateBlocks instead of record slices.
+	// Results are identical either way; only wall-clock differs.
+	blocks bool
 }
 
 // simulate runs every suite config through a fresh instance of the
 // predictor set, sharding cells across the pool; results arrive in suite
 // order.
 func (e *env) simulate(build func() []predictor.IndirectPredictor) []sched.Result {
+	if e.blocks {
+		return e.pool.SimulateBlocks(e.cache, e.suite, build)
+	}
 	return e.pool.Simulate(e.cache, e.suite, build)
 }
 
@@ -69,6 +84,7 @@ func main() {
 		jobs       = flag.Int("j", runtime.GOMAXPROCS(0), "simulation workers (1 = exact serial path)")
 		cacheMB    = flag.Int("cachemb", 512, "trace cache budget in MiB (0 = unlimited)")
 		useCache   = flag.Bool("tracecache", true, "cache generated traces; false regenerates per analysis (the pre-cache baseline)")
+		useBlocks  = flag.Bool("blocks", true, "simulate via the batched block engine; false uses the record-at-a-time engine (identical output)")
 		cacheStats = flag.Bool("cachestats", false, "print trace cache statistics to stderr after the run")
 	)
 	selected := make(map[string]*bool, len(experiments))
@@ -112,10 +128,11 @@ func main() {
 		cache = tracecache.Disabled()
 	}
 	e := &env{
-		out:   os.Stdout,
-		suite: filterRuns(bench.Sized(*events), *runFilter),
-		cache: cache,
-		pool:  sched.New(*jobs),
+		out:    os.Stdout,
+		suite:  filterRuns(bench.Sized(*events), *runFilter),
+		cache:  cache,
+		pool:   sched.New(*jobs),
+		blocks: *useBlocks,
 	}
 	for _, ex := range experiments {
 		if *selected[ex.name] {

@@ -11,13 +11,15 @@ import (
 )
 
 // renderExperiments runs the named registry entries into w under the given
-// worker count and trace cache, at the given per-run event count.
-func renderExperiments(w io.Writer, names []string, workers int, cache *tracecache.Cache, events int) {
+// worker count, engine selection and trace cache, at the given per-run
+// event count.
+func renderExperiments(w io.Writer, names []string, workers int, blocks bool, cache *tracecache.Cache, events int) {
 	e := &env{
-		out:   w,
-		suite: bench.Sized(events),
-		cache: cache,
-		pool:  sched.New(workers),
+		out:    w,
+		suite:  bench.Sized(events),
+		cache:  cache,
+		pool:   sched.New(workers),
+		blocks: blocks,
 	}
 	for _, n := range names {
 		for _, ex := range experiments {
@@ -37,7 +39,7 @@ func TestParallelDeterminism(t *testing.T) {
 	suiteLen := uint64(len(bench.Sized(events)))
 
 	var serial bytes.Buffer
-	renderExperiments(&serial, names, 1, tracecache.New(0), events)
+	renderExperiments(&serial, names, 1, false, tracecache.New(0), events)
 	if serial.Len() == 0 {
 		t.Fatal("serial run produced no output")
 	}
@@ -45,7 +47,7 @@ func TestParallelDeterminism(t *testing.T) {
 	for _, workers := range []int{2, 8} {
 		cache := tracecache.New(0)
 		var par bytes.Buffer
-		renderExperiments(&par, names, workers, cache, events)
+		renderExperiments(&par, names, workers, false, cache, events)
 		if !bytes.Equal(serial.Bytes(), par.Bytes()) {
 			t.Errorf("workers=%d: output differs from serial run\n--- serial ---\n%s\n--- workers=%d ---\n%s",
 				workers, serial.String(), workers, par.String())
@@ -68,10 +70,39 @@ func TestDisabledCacheMatchesSerial(t *testing.T) {
 	const events = 2000
 	names := []string{"fig6"}
 	var cached, uncached bytes.Buffer
-	renderExperiments(&cached, names, 1, tracecache.New(0), events)
-	renderExperiments(&uncached, names, 4, tracecache.Disabled(), events)
+	renderExperiments(&cached, names, 1, false, tracecache.New(0), events)
+	renderExperiments(&uncached, names, 4, false, tracecache.Disabled(), events)
 	if !bytes.Equal(cached.Bytes(), uncached.Bytes()) {
 		t.Error("disabled-cache parallel output differs from cached serial output")
+	}
+}
+
+// TestBlockEngineMatchesRecordEngine pins the -blocks default to the record
+// engine's bytes: the batched block path must render the exact same report
+// at every worker count, through live and disabled caches alike.
+func TestBlockEngineMatchesRecordEngine(t *testing.T) {
+	const events = 2000
+	names := allExperimentNames() // every predictor family crosses the block fast paths
+
+	var records bytes.Buffer
+	renderExperiments(&records, names, 1, false, tracecache.New(0), events)
+	if records.Len() == 0 {
+		t.Fatal("record-engine run produced no output")
+	}
+
+	for _, workers := range []int{1, 2, 8} {
+		var blocks bytes.Buffer
+		renderExperiments(&blocks, names, workers, true, tracecache.New(0), events)
+		if !bytes.Equal(records.Bytes(), blocks.Bytes()) {
+			t.Errorf("block engine at -j %d differs from record engine\n--- records ---\n%s\n--- blocks -j %d ---\n%s",
+				workers, records.String(), workers, blocks.String())
+		}
+	}
+
+	var uncached bytes.Buffer
+	renderExperiments(&uncached, names, 1, true, tracecache.Disabled(), events)
+	if !bytes.Equal(records.Bytes(), uncached.Bytes()) {
+		t.Error("block engine with the disabled cache differs from record engine")
 	}
 }
 
@@ -85,18 +116,22 @@ func allExperimentNames() []string {
 }
 
 // BenchmarkExperiments measures the full -all -ext grid. The serial-nocache
-// sub-benchmark is the pre-cache baseline (one worker, every analysis
-// regenerates every trace); parallel-j4-cached is the shipped default on a
-// 4-core machine. cmd/benchjson -experiments runs these at -benchtime=1x
-// and derives the speedup recorded in BENCH_experiments.json. Cache traffic
-// is attached as custom metrics so the snapshot proves single generation.
+// sub-benchmark is the pre-cache baseline (one worker, record engine, every
+// analysis regenerates every trace); parallel-j4-cached is the record
+// engine's shipped default on a 4-core machine; blocks-j1-cached and
+// blocks-j4-cached replay the same grid through the batched block engine —
+// blocks-j1-cached against serial-nocache is the single-core speedup of
+// this optimisation line. cmd/benchjson -experiments runs these at
+// -benchtime=1x and derives the speedups recorded in BENCH_experiments.json.
+// Cache traffic is attached as custom metrics so the snapshot proves single
+// generation.
 func BenchmarkExperiments(b *testing.B) {
 	const events = 20000
 	names := allExperimentNames()
 
 	b.Run("serial-nocache", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			renderExperiments(io.Discard, names, 1, tracecache.Disabled(), events)
+			renderExperiments(io.Discard, names, 1, false, tracecache.Disabled(), events)
 		}
 	})
 
@@ -104,12 +139,28 @@ func BenchmarkExperiments(b *testing.B) {
 		var hits, generated uint64
 		for i := 0; i < b.N; i++ {
 			cache := tracecache.New(512 << 20)
-			renderExperiments(io.Discard, names, 4, cache, events)
+			renderExperiments(io.Discard, names, 4, false, cache, events)
 			st := cache.Stats()
 			hits += st.Hits
 			generated += st.Generated
 		}
 		b.ReportMetric(float64(hits)/float64(b.N), "cache-hits")
 		b.ReportMetric(float64(generated)/float64(b.N), "cache-gen")
+	})
+
+	b.Run("blocks-j1-cached", func(b *testing.B) {
+		var generated uint64
+		for i := 0; i < b.N; i++ {
+			cache := tracecache.New(512 << 20)
+			renderExperiments(io.Discard, names, 1, true, cache, events)
+			generated += cache.Stats().Generated
+		}
+		b.ReportMetric(float64(generated)/float64(b.N), "cache-gen")
+	})
+
+	b.Run("blocks-j4-cached", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			renderExperiments(io.Discard, names, 4, true, tracecache.New(512<<20), events)
+		}
 	})
 }

@@ -47,6 +47,7 @@ func main() {
 	ok := true
 	ok = replayCorpus(*corpus) && ok
 	ok = diffHunt(fams, *seeds, *events, *corpus) && ok
+	ok = blocksHunt(fams, *seeds, *events, *corpus) && ok
 	ok = run("metamorphic", check.Metamorphic(1, *events)) && ok
 	ok = run("truncation sweep", check.TruncationSweep(check.RandomRecords(9, 60), nil)) && ok
 	ok = run("errafter sweep", check.ErrAfterSweep(check.RandomRecords(9, 60))) && ok
@@ -126,6 +127,50 @@ func diffHunt(fams []string, seeds, events int, corpusDir string) bool {
 	}
 	if ok {
 		fmt.Printf("ok   differential (%d families x %d seeds x 2 streams)\n", len(fams), seeds)
+	}
+	return ok
+}
+
+// blocksHunt lock-steps every family's block-engine replay against its
+// record-engine replay over randomized traces; a divergence is minimized
+// against the block predicate and written back into the corpus.
+func blocksHunt(fams []string, seeds, events int, corpusDir string) bool {
+	ok := true
+	for _, fam := range fams {
+		for seed := uint64(1); seed <= uint64(seeds); seed++ {
+			for _, in := range []struct {
+				kind string
+				recs []trace.Record
+			}{
+				{"workload", check.RandomTrace(seed, events)},
+				{"raw", check.RandomRecords(seed, events)},
+			} {
+				d, err := check.DiffBlocks(fam, in.recs)
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "FAIL blocks-vs-records %s: %v\n", fam, err)
+					return false
+				}
+				if d == nil {
+					continue
+				}
+				ok = false
+				min := check.Shrink(in.recs, func(r []trace.Record) bool { return check.DivergesBlocks(fam, r) })
+				fmt.Fprintf(os.Stderr, "FAIL blocks-vs-records %s (%s seed %d): %s\n  minimized to %d records\n", fam, in.kind, seed, d, len(min))
+				seedName := fmt.Sprintf("blocks-%s-seed%d", strings.ToLower(fam), seed)
+				werr := check.WriteSeed(corpusDir, check.Seed{
+					Name: seedName, Family: fam, Kind: "blocks",
+					Note: fmt.Sprintf("minimized block-engine divergence found by ppmcheck (%s stream, seed %d)", in.kind, seed),
+				}, min)
+				if werr != nil {
+					fmt.Fprintf(os.Stderr, "  (could not write corpus seed: %v)\n", werr)
+				} else {
+					fmt.Fprintf(os.Stderr, "  repro written to %s/%s.{json,ibt2}\n", corpusDir, seedName)
+				}
+			}
+		}
+	}
+	if ok {
+		fmt.Printf("ok   blocks-vs-records (%d families x %d seeds x 2 streams)\n", len(fams), seeds)
 	}
 	return ok
 }

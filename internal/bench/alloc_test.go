@@ -1,8 +1,10 @@
 package bench
 
 import (
+	"fmt"
 	"testing"
 
+	"repro/internal/cbt"
 	"repro/internal/core"
 	"repro/internal/oracle"
 	"repro/internal/predictor"
@@ -99,6 +101,46 @@ func TestEngineZeroAllocSteadyState(t *testing.T) {
 	e.ProcessAll(recs)
 	if avg := testing.AllocsPerRun(10, func() { e.ProcessAll(recs) }); avg != 0 {
 		t.Errorf("engine: %.2f allocs per steady-state pass, want 0", avg)
+	}
+}
+
+// TestBlockEngineZeroAllocSteadyState extends the engine guarantee to the
+// batched block path: once the columnar blocks exist and a warm-up pass has
+// faulted in every first-touch structure, Engine.ProcessBlocks — index-lane
+// fast paths and the record-loop fallback alike — must not allocate. The
+// deliberately tiny second capacity maximizes per-block overhead relative
+// to payload, so block-boundary bookkeeping is covered too.
+func TestBlockEngineZeroAllocSteadyState(t *testing.T) {
+	if race.Enabled {
+		t.Skip("race instrumentation allocates; alloc counts asserted in the non-race run")
+	}
+	recs := allocTrace(t)
+	for _, set := range []struct {
+		name  string
+		build func() []predictor.IndirectPredictor
+	}{
+		{"fig6", Figure6Predictors},
+		{"fig7", Figure7Predictors},
+		// The extension predictors with their own batch fast paths; the
+		// oracle is deliberately absent (see TestOracleExemptFromZeroAlloc).
+		{"extensions", func() []predictor.IndirectPredictor {
+			return []predictor.IndirectPredictor{
+				cbt.New(cbt.Config{Entries: 2048, Availability: 0.5, Seed: 0xCB7}),
+				core.PaperFiltered(),
+				core.NewMultiTarget(10, 4),
+			}
+		}},
+	} {
+		for _, bcap := range []int{trace.BlockCap, 64} {
+			t.Run(fmt.Sprintf("%s/cap%d", set.name, bcap), func(t *testing.T) {
+				blks := trace.BlocksSized(recs, bcap)
+				e := sim.New(set.build()...)
+				e.ProcessBlocks(blks)
+				if avg := testing.AllocsPerRun(10, func() { e.ProcessBlocks(blks) }); avg != 0 {
+					t.Errorf("block engine: %.2f allocs per steady-state pass, want 0", avg)
+				}
+			})
+		}
 	}
 }
 

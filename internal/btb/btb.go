@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/counter"
 	"repro/internal/predictor"
+	"repro/internal/stats"
 	"repro/internal/trace"
 )
 
@@ -94,6 +95,23 @@ func (b *BTB) Update(pc, target uint64) {
 
 // Observe implements predictor.IndirectPredictor; BTBs keep no path history.
 func (b *BTB) Observe(trace.Record) {}
+
+// ProcessBlock implements the engine's batch fast path. A BTB holds no
+// path history, so only the block's multi-target indirect records exist
+// for it: the loop walks the precomputed MTIdx lane and skips the
+// conditional-branch fabric entirely.
+//
+//ppm:hotpath whole-block BTB replay over the MT index lane
+func (b *BTB) ProcessBlock(blk *trace.Block, c *stats.Counters) {
+	pcs, tgts := blk.PC, blk.Target
+	for _, k := range blk.MTIdx {
+		pc := pcs[k]   //lint:idxsafe MTIdx entries index the block's lanes by construction
+		tgt := tgts[k] //lint:idxsafe MTIdx entries index the block's lanes by construction
+		target, ok := b.Predict(pc)
+		c.Record(ok && target == tgt, ok)
+		b.Update(pc, tgt)
+	}
+}
 
 // Reset implements predictor.Resetter.
 func (b *BTB) Reset() {

@@ -18,6 +18,7 @@ import (
 	"repro/internal/hashing"
 	"repro/internal/history"
 	"repro/internal/predictor"
+	"repro/internal/stats"
 	"repro/internal/trace"
 	"repro/internal/twolevel"
 )
@@ -175,6 +176,37 @@ func (c *Cascade) Update(pc, target uint64) {
 
 // Observe implements predictor.IndirectPredictor.
 func (c *Cascade) Observe(r trace.Record) { c.main.Observe(r) }
+
+// ProcessBlock implements the engine's batch fast path. The filter holds
+// no history and the main Dual-path's registers record only MT-indirect
+// targets in the paper's configuration, so the whole two-stage protocol is
+// driven by the block's MTIdx lane; a main predictor on other streams
+// replays record-exactly.
+//
+//ppm:hotpath whole-block Cascade replay over the MT index lane
+func (c *Cascade) ProcessBlock(b *trace.Block, ctr *stats.Counters) {
+	if !c.main.MTOnly() {
+		for i := 0; i < b.Len(); i++ {
+			r := b.Record(i)
+			if r.MTIndirect() {
+				target, ok := c.Predict(r.PC)
+				ctr.Record(ok && target == r.Target, ok)
+				c.Update(r.PC, r.Target)
+			}
+			c.Observe(r)
+		}
+		return
+	}
+	pcs, tgts := b.PC, b.Target
+	for _, k := range b.MTIdx {
+		pc := pcs[k]   //lint:idxsafe MTIdx entries index the block's lanes by construction
+		tgt := tgts[k] //lint:idxsafe MTIdx entries index the block's lanes by construction
+		target, ok := c.Predict(pc)
+		ctr.Record(ok && target == tgt, ok)
+		c.Update(pc, tgt)
+		c.main.PushMT(tgt)
+	}
+}
 
 // Stats reports how many predictions each stage served and how many
 // branches were promoted into the main predictor.

@@ -19,6 +19,7 @@ import (
 
 	"repro/internal/hashing"
 	"repro/internal/predictor"
+	"repro/internal/stats"
 	"repro/internal/trace"
 )
 
@@ -146,6 +147,28 @@ func (c *CBT) Update(pc, target uint64) {
 // Observe implements predictor.IndirectPredictor; the CBT keeps no path
 // history.
 func (c *CBT) Observe(trace.Record) {}
+
+// ProcessBlock implements the engine's batch fast path. With Observe a
+// no-op, only the multi-target indirect positions matter: the MTIdx lane
+// jumps straight to them and the Value lane supplies the switch value the
+// engine's per-record SetValue forward would have carried (a nil lane means
+// no record in the block carried a value).
+//
+//ppm:hotpath whole-block CBT replay
+func (c *CBT) ProcessBlock(b *trace.Block, ctr *stats.Counters) {
+	pcs, tgts, vals := b.PC, b.Target, b.Value
+	for _, k := range b.MTIdx {
+		if vals != nil {
+			c.SetValue(vals[k]) //lint:idxsafe MTIdx entries index the block's lanes by construction
+		} else {
+			c.SetValue(0)
+		}
+		pc, tgt := pcs[k], tgts[k] //lint:idxsafe MTIdx entries index the block's lanes by construction
+		target, ok := c.Predict(pc)
+		ctr.Record(ok && target == tgt, ok)
+		c.Update(pc, tgt)
+	}
+}
 
 // ValueHitRate reports the fraction of lookups served from a value-keyed
 // association.

@@ -37,6 +37,9 @@ import (
 //     (Params: smallseed/smallevents/bigseed/bigevents) under a budget of
 //     Params["budgetsmalls"] small entries; the oversized trace must be
 //     served correctly without evicting residents (the LRU-thrash bug).
+//   - "blocks": replay the companion trace through DiffBlocks for Family
+//     (or every family when Family is empty); the block engine must agree
+//     with the record engine at every probed block capacity.
 type Seed struct {
 	Name   string           `json:"name"`
 	Family string           `json:"family,omitempty"`
@@ -152,6 +155,22 @@ func ReplaySeed(e SeedEntry) error {
 		}
 		for _, fam := range families {
 			d, err := DiffFamily(fam, e.Recs)
+			if err != nil {
+				return fmt.Errorf("seed %s: %w", e.Seed.Name, err)
+			}
+			if d != nil {
+				return fmt.Errorf("seed %s: %s", e.Seed.Name, d)
+			}
+		}
+		return nil
+
+	case "blocks":
+		families := Families()
+		if e.Seed.Family != "" {
+			families = []string{e.Seed.Family}
+		}
+		for _, fam := range families {
+			d, err := DiffBlocks(fam, e.Recs)
 			if err != nil {
 				return fmt.Errorf("seed %s: %w", e.Seed.Name, err)
 			}

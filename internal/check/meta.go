@@ -222,6 +222,15 @@ func Metamorphic(seed uint64, events int) error {
 	if err := WorkerIdentity(cfgs, build, 4); err != nil {
 		return err
 	}
+	if err := BlocksVsRecords(cfgs, build, 4); err != nil {
+		return err
+	}
+	if err := BlockEngineIdentity(RandomTrace(seed+2, events), build); err != nil {
+		return err
+	}
+	if err := BlockEngineIdentity(RandomTrace(seed+3, events), ExtensionPredictors); err != nil {
+		return err
+	}
 	workloads := []string{"troff.ped", "eqn"}
 	if err := ServedVsSerial(workloads, events, "fig6"); err != nil {
 		return err

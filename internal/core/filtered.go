@@ -6,6 +6,7 @@ import (
 	"repro/internal/counter"
 	"repro/internal/hashing"
 	"repro/internal/predictor"
+	"repro/internal/stats"
 	"repro/internal/trace"
 )
 
@@ -132,6 +133,39 @@ func (f *FilteredPPM) Update(pc, target uint64) {
 
 // Observe implements predictor.IndirectPredictor.
 func (f *FilteredPPM) Observe(r trace.Record) { f.ppm.Observe(r) }
+
+// ProcessBlock implements the engine's batch fast path: the filter's
+// Predict/Update protocol per MT indirect record with the wrapped PPM's
+// Observe fan-out devirtualized exactly as PPM.ProcessBlock does it (the
+// filter itself keeps no path history, so only the wrapped stack observes).
+//
+//ppm:hotpath whole-block filtered-PPM replay
+func (f *FilteredPPM) ProcessBlock(b *trace.Block, c *stats.Counters) {
+	p := f.ppm
+	hyb := p.cfg.Mode != PIBOnly
+	metas := b.Meta
+	pcs := b.PC[:len(metas)]
+	tgts := b.Target[:len(metas)]
+	for i, m := range metas {
+		tgt := tgts[i]
+		cls := trace.Class(m & trace.MetaClassMask)
+		pib := cls == trace.IndirectJmp || cls == trace.IndirectJsr
+		mt := m&trace.MetaMT != 0
+		if pib && mt {
+			pc := pcs[i]
+			target, ok := f.Predict(pc)
+			c.Record(ok && target == tgt, ok)
+			f.Update(pc, tgt)
+		}
+		if hyb && (pib || cls == trace.Return || cls == trace.JsrCoroutine) {
+			p.biu.ObserveIndirect(pcs[i], mt)
+		}
+		p.pb.Push(tgt)
+		if pib {
+			p.pib.Push(tgt)
+		}
+	}
+}
 
 // Stats reports how many predictions each stage served.
 func (f *FilteredPPM) Stats() (filterServed, ppmServed uint64) {

@@ -1,7 +1,9 @@
 package core
 
 import (
+	"repro/internal/hashing"
 	"repro/internal/predictor"
+	"repro/internal/stats"
 	"repro/internal/trace"
 )
 
@@ -185,17 +187,17 @@ func (m *MultiPPM) Predict(pc uint64) (uint64, bool) {
 	pd.chosen = -1
 	pd.ok = false
 	pd.target = 0
+	// Same incremental all-orders pass as PPM.Predict: each order's SFSXS
+	// hash nests inside the next, so one sweep replaces per-order refolds.
+	hashing.SFSXSAll(pd.indices, recent, cfg.TargetBits, cfg.FoldBits, uint(cfg.Order), cfg.LowSelect)
 	for j := cfg.Order; j >= 1; j-- {
-		idx := m.inner.index(recent, uint(j))
-		pd.indices[j] = idx //lint:idxsafe j descends from Order and len(indices) == Order+1 by construction
-		if pd.ok {
-			continue
-		}
+		idx := pd.indices[j] //lint:idxsafe j descends from Order and len(indices) == Order+1 by construction
 		//lint:idxsafe j in [1, Order] and len(tables) == Order by construction
 		if tgt, ok := m.tables[j-1].lookup(idx); ok {
 			pd.chosen = j
 			pd.target = tgt
 			pd.ok = true
+			break
 		}
 	}
 	_ = pc
@@ -217,6 +219,39 @@ func (m *MultiPPM) Update(_, target uint64) {
 
 // Observe implements predictor.IndirectPredictor.
 func (m *MultiPPM) Observe(r trace.Record) { m.inner.Observe(r) }
+
+// ProcessBlock implements the engine's batch fast path: the multi-target
+// Predict/Update protocol per MT indirect record with the inner PPM's
+// Observe fan-out devirtualized, mirroring PPM.ProcessBlock (the inner
+// predictor is PIB-only, so the hoisted mode check skips the BIU leg).
+//
+//ppm:hotpath whole-block multi-target PPM replay
+func (m *MultiPPM) ProcessBlock(b *trace.Block, c *stats.Counters) {
+	p := m.inner
+	hyb := p.cfg.Mode != PIBOnly
+	metas := b.Meta
+	pcs := b.PC[:len(metas)]
+	tgts := b.Target[:len(metas)]
+	for i, mb := range metas {
+		tgt := tgts[i]
+		cls := trace.Class(mb & trace.MetaClassMask)
+		pib := cls == trace.IndirectJmp || cls == trace.IndirectJsr
+		mt := mb&trace.MetaMT != 0
+		if pib && mt {
+			pc := pcs[i]
+			target, ok := m.Predict(pc)
+			c.Record(ok && target == tgt, ok)
+			m.Update(pc, tgt)
+		}
+		if hyb && (pib || cls == trace.Return || cls == trace.JsrCoroutine) {
+			p.biu.ObserveIndirect(pcs[i], mt)
+		}
+		p.pb.Push(tgt)
+		if pib {
+			p.pib.Push(tgt)
+		}
+	}
+}
 
 // Reset implements predictor.Resetter.
 func (m *MultiPPM) Reset() {

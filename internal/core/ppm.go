@@ -7,6 +7,7 @@ import (
 	"repro/internal/hashing"
 	"repro/internal/history"
 	"repro/internal/predictor"
+	"repro/internal/stats"
 	"repro/internal/trace"
 )
 
@@ -213,13 +214,6 @@ func (p *PPM) selectHistory(pc uint64) (*history.PHR, *predictor.BIUEntry) {
 	return p.pib, e
 }
 
-func (p *PPM) index(recent []uint64, order uint) uint64 {
-	if p.cfg.LowSelect {
-		return hashing.SFSXSLow(recent, p.cfg.TargetBits, p.cfg.FoldBits, order)
-	}
-	return hashing.SFSXS(recent, p.cfg.TargetBits, p.cfg.FoldBits, order)
-}
-
 // Predict implements predictor.IndirectPredictor: all Markov components are
 // accessed in parallel with their per-order SFSXS indices and the valid
 // entry of the highest order supplies the target (Figure 3's buffer chain).
@@ -236,17 +230,19 @@ func (p *PPM) Predict(pc uint64) (uint64, bool) {
 	pd.ok = false
 	pd.target = 0
 
+	// One incremental pass derives every order's SFSXS index (each order's
+	// hash nests inside the next), replacing the per-order refolds that
+	// dominated the simulation profile.
+	hashing.SFSXSAll(pd.indices, recent, p.cfg.TargetBits, p.cfg.FoldBits, uint(p.cfg.Order), p.cfg.LowSelect)
+
 	for j := p.cfg.Order; j >= 1; j-- {
-		idx := p.index(recent, uint(j))
-		pd.indices[j] = idx //lint:idxsafe j descends from Order and len(indices) == Order+1 by construction
-		if pd.ok {
-			continue
-		}
+		idx := pd.indices[j] //lint:idxsafe j descends from Order and len(indices) == Order+1 by construction
 		//lint:idxsafe j in [1, Order] and len(tables) == Order by construction
 		if e := p.tables[j-1].lookup(idx, tag); e != nil && e.hyst.Value() >= p.cfg.ConfidenceThreshold {
 			pd.chosen = j
 			pd.target = e.target
 			pd.ok = true
+			break
 		}
 	}
 	if !pd.ok && p.zero.valid {
@@ -329,6 +325,42 @@ func (p *PPM) Observe(r trace.Record) {
 	}
 	p.pb.Observe(r)
 	p.pib.Observe(r)
+}
+
+// ProcessBlock implements the engine's batch fast path: one pass over the
+// block's lanes replaying the record protocol with the Observe fan-out
+// devirtualized — the mode check is hoisted out of the loop, the BIU class
+// check is folded into the meta-byte dispatch, and the history registers
+// are pushed directly instead of re-deciding their streams per record (the
+// PB register accepts every branch; the PIB register exactly the indirect
+// jmp/jsr records). BIU touches stay interleaved in record order, so a
+// bounded BIU's FIFO eviction sequence is identical to the record loop's.
+//
+//ppm:hotpath whole-block PPM replay
+func (p *PPM) ProcessBlock(b *trace.Block, c *stats.Counters) {
+	hyb := p.cfg.Mode != PIBOnly
+	metas := b.Meta
+	pcs := b.PC[:len(metas)]
+	tgts := b.Target[:len(metas)]
+	for i, m := range metas {
+		tgt := tgts[i]
+		cls := trace.Class(m & trace.MetaClassMask)
+		pib := cls == trace.IndirectJmp || cls == trace.IndirectJsr
+		mt := m&trace.MetaMT != 0
+		if pib && mt {
+			pc := pcs[i]
+			target, ok := p.Predict(pc)
+			c.Record(ok && target == tgt, ok)
+			p.Update(pc, tgt)
+		}
+		if hyb && (pib || cls == trace.Return || cls == trace.JsrCoroutine) {
+			p.biu.ObserveIndirect(pcs[i], mt)
+		}
+		p.pb.Push(tgt)
+		if pib {
+			p.pib.Push(tgt)
+		}
+	}
 }
 
 // Stats returns the per-component access/miss distribution.

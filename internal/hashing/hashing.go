@@ -111,6 +111,47 @@ func SFSXS(targets []uint64, selBits, foldBits, order uint) uint64 {
 	return (h >> (width - order)) & Mask(order)
 }
 
+// SFSXSAll computes SFSXS (or SFSXSLow when low is set) for every order in
+// [1, maxOrder] in one incremental pass, writing the order-j index to
+// dst[j]; dst must be at least maxOrder+1 long and dst[0] is left as is.
+//
+// The per-order hashes nest: with g_i the folded contribution of the i-th
+// most recent target, the high-select hash for order o is
+// h_o = (h_{o-1} << 1) ^ g_{o-1}, and with foldBits >= 1 the final select
+// always shifts by the constant foldBits-1 — so one fold per available
+// target and one shift-XOR per order replace the O(order^2) refolds of
+// calling SFSXS per order. foldBits must be >= 1 (every PPM configuration
+// validates this); equivalence with per-order SFSXS/SFSXSLow calls is
+// pinned by TestSFSXSAllMatchesPerOrder and the ppmcheck differential.
+//
+//ppm:hotpath per-lookup index-hash helper; runs once per table probe
+func SFSXSAll(dst, targets []uint64, selBits, foldBits, maxOrder uint, low bool) {
+	n := uint(len(targets))
+	if n > maxOrder {
+		n = maxOrder
+	}
+	var h uint64
+	if low {
+		// Low-select: fold i sits at bit positions [i, i+foldBits); entries
+		// at i >= o only occupy bits >= o, so masking the running hash to o
+		// bits is exactly the per-order cap on path length.
+		for i := uint(0); i < n; i++ {
+			h ^= Fold(targets[i]>>2, selBits, foldBits) << i //lint:idxsafe i < n <= len(targets)
+		}
+		for o := uint(1); o <= maxOrder; o++ {
+			dst[o] = h & Mask(o) //lint:idxsafe caller contract: len(dst) >= maxOrder+1 and o <= maxOrder
+		}
+		return
+	}
+	for o := uint(1); o <= maxOrder; o++ {
+		h <<= 1
+		if o-1 < n {
+			h ^= Fold(targets[o-1]>>2, selBits, foldBits) //lint:idxsafe o-1 < n <= len(targets)
+		}
+		dst[o] = (h >> (foldBits - 1)) & Mask(o) //lint:idxsafe caller contract: len(dst) >= maxOrder+1 and o <= maxOrder
+	}
+}
+
 // SFSXSLow is the alternative mapping mentioned in Section 4 of the paper:
 // the mirror orientation that shifts the most recent target into the
 // low-order bit positions and selects the order low-order bits of the hash.

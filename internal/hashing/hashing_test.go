@@ -253,3 +253,40 @@ func TestMix64Bijective(t *testing.T) {
 		seen[h] = i
 	}
 }
+
+// TestSFSXSAllMatchesPerOrder pins the incremental all-orders pass to the
+// per-order reference calls, across both select orientations, warm-up path
+// lengths shorter than the order, and a spread of fold widths.
+func TestSFSXSAllMatchesPerOrder(t *testing.T) {
+	rng := uint64(0x9e3779b97f4a7c15)
+	next := func() uint64 { rng = Mix64(rng); return rng }
+	for _, maxOrder := range []uint{1, 3, 10, 20} {
+		for _, selBits := range []uint{4, 10, 16} {
+			for _, foldBits := range []uint{1, 5, uint(selBits)} {
+				if foldBits > selBits {
+					continue
+				}
+				for pathLen := 0; pathLen <= int(maxOrder)+2; pathLen++ {
+					targets := make([]uint64, pathLen)
+					for i := range targets {
+						targets[i] = next()
+					}
+					dst := make([]uint64, maxOrder+1)
+					for _, low := range []bool{false, true} {
+						SFSXSAll(dst, targets, selBits, foldBits, maxOrder, low)
+						for o := uint(1); o <= maxOrder; o++ {
+							want := SFSXS(targets, selBits, foldBits, o)
+							if low {
+								want = SFSXSLow(targets, selBits, foldBits, o)
+							}
+							if dst[o] != want {
+								t.Fatalf("SFSXSAll(sel=%d fold=%d max=%d len=%d low=%t)[%d] = %#x, per-order %#x",
+									selBits, foldBits, maxOrder, pathLen, low, o, dst[o], want)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}

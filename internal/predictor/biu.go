@@ -92,6 +92,19 @@ func (b *BIU) Observe(r trace.Record) {
 	}
 }
 
+// ObserveIndirect is the batch-path form of Observe: the caller has already
+// established from a block's meta lane that the record is an indirect
+// branch, so the class check and the trace.Record assembly are hoisted out.
+// Equivalent to Observe on an indirect record with the given pc and MT bit.
+//
+//ppm:hotpath per-branch BIU probe on the lookup path
+func (b *BIU) ObserveIndirect(pc uint64, mt bool) {
+	e := b.Ensure(pc)
+	if mt {
+		e.MT = true
+	}
+}
+
 // Len returns the number of live entries.
 func (b *BIU) Len() int { return len(b.entries) }
 

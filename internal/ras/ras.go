@@ -83,6 +83,30 @@ func (s *Stack) Process(r trace.Record) (predicted uint64, ok bool) {
 	return 0, false
 }
 
+// ProcessBlock drives the stack through a whole columnar block, equivalent
+// to calling Process on every record in stream order. Only the Meta, PC and
+// Target lanes are touched; records of non-call, non-return classes cost a
+// single switch on their meta byte.
+//
+//ppm:hotpath per-call stack push/pop on the lookup path
+func (s *Stack) ProcessBlock(b *trace.Block) {
+	metas := b.Meta
+	pcs := b.PC[:len(metas)]
+	tgts := b.Target[:len(metas)]
+	for i, m := range metas {
+		switch trace.Class(m & trace.MetaClassMask) {
+		case trace.IndirectJsr, trace.JsrCoroutine, trace.DirectCall:
+			s.Push(pcs[i] + 4)
+		case trace.Return:
+			predicted, ok := s.Pop()
+			s.preds++
+			if ok && predicted == tgts[i] {
+				s.hits++
+			}
+		}
+	}
+}
+
 // Accuracy returns correct predictions and total return predictions.
 func (s *Stack) Accuracy() (hits, total uint64) { return s.hits, s.preds }
 

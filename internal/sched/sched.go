@@ -95,19 +95,43 @@ func (p *Pool) Map(n int, fn func(i int)) {
 // are read through the cache, so each config is generated at most once per
 // process no matter how many Simulate calls share the cache.
 func (p *Pool) Simulate(cache *tracecache.Cache, suite []workload.Config, build func() []predictor.IndirectPredictor) []Result {
-	results := make([]Result, len(suite))
-	if len(suite) == 0 {
-		return results
-	}
-	cell := func(i int) Result {
+	return p.runCells(len(suite), func(i int) Result {
 		recs, sum := cache.Get(suite[i])
 		preds := build()
 		e := sim.New(preds...)
 		e.ProcessAll(recs)
 		return Result{Config: suite[i], Summary: sum, Counters: e.Counters(), Preds: preds}
+	})
+}
+
+// SimulateBlocks is Simulate through the batched engine: each cell reads
+// the pre-decoded columnar blocks from the cache and replays them via
+// sim.Engine.ProcessBlocks. Per-predictor outcomes are identical to
+// Simulate's (the block engine is observationally equivalent and the
+// ppmcheck blocks-vs-records suite holds it to that), so callers may mix
+// the two paths freely; only wall-clock differs.
+func (p *Pool) SimulateBlocks(cache *tracecache.Cache, suite []workload.Config, build func() []predictor.IndirectPredictor) []Result {
+	return p.runCells(len(suite), func(i int) Result {
+		blks, sum := cache.GetBlocks(suite[i])
+		preds := build()
+		e := sim.New(preds...)
+		e.ProcessBlocks(blks)
+		return Result{Config: suite[i], Summary: sum, Counters: e.Counters(), Preds: preds}
+	})
+}
+
+// runCells executes n independent simulation cells across the pool and
+// reassembles their results in cell order — the shared fan-out under both
+// engine front ends. One worker (or one cell) degenerates to a plain
+// in-order loop on the calling goroutine, the exact serial path of the
+// determinism contract.
+func (p *Pool) runCells(n int, cell func(i int) Result) []Result {
+	results := make([]Result, n)
+	if n == 0 {
+		return results
 	}
-	if p.workers == 1 || len(suite) == 1 {
-		for i := range suite {
+	if p.workers == 1 || n == 1 {
+		for i := 0; i < n; i++ {
 			results[i] = cell(i)
 		}
 		return results
@@ -118,8 +142,8 @@ func (p *Pool) Simulate(cache *tracecache.Cache, suite []workload.Config, build 
 		r Result
 	}
 	workers := p.workers
-	if workers > len(suite) {
-		workers = len(suite)
+	if workers > n {
+		workers = n
 	}
 	jobs := make(chan int)
 	out := make(chan indexed)
@@ -134,7 +158,7 @@ func (p *Pool) Simulate(cache *tracecache.Cache, suite []workload.Config, build 
 		}()
 	}
 	go func() {
-		for i := range suite {
+		for i := 0; i < n; i++ {
 			jobs <- i
 		}
 		close(jobs)

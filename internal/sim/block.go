@@ -1,0 +1,77 @@
+package sim
+
+import (
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// BlockPredictor is the batch opt-in: a predictor that can replay a whole
+// columnar block against itself, accumulating accuracy into c. The engine
+// routes blocks through this method when a predictor implements it,
+// hoisting the three interface dispatches per record (Predict, Update,
+// Observe) into one per block.
+//
+// Implementations MUST be observationally equivalent to the record loop:
+// for each record of the block in stream order — if the record is
+// MT-indirect, predict at the pre-update history, record the outcome into
+// c, then train; then observe the record (history registers, BIU). A
+// predictor that consumes the switch value (ValueAware) must read it from
+// the block's Value lane itself; the engine's per-record SetValue forward
+// only runs on the fallback path.
+type BlockPredictor interface {
+	ProcessBlock(b *trace.Block, c *stats.Counters)
+}
+
+// ProcessBlock feeds one columnar block to every predictor, whole-block
+// per predictor: the RAS steps through the block once, then each predictor
+// replays the block in turn — batch fast path when it opts in via
+// BlockPredictor, record-exact fallback otherwise. Predictors share no
+// state with each other or with the RAS, so this reordering relative to
+// the record-interleaved Process loop leaves every per-predictor outcome
+// and the RAS accounting bit-identical.
+//
+//ppm:hotpath per-block engine step driving every predictor
+func (e *Engine) ProcessBlock(b *trace.Block) {
+	n := uint64(b.Len())
+	e.records += n
+	e.instrs += b.GapSum + n
+	e.ras.ProcessBlock(b)
+	for i := range e.preds {
+		if bp := e.bp[i]; bp != nil {
+			bp.ProcessBlock(b, &e.counters[i])
+		} else {
+			e.processBlockSlow(i, b)
+		}
+	}
+}
+
+// processBlockSlow replays a block against predictor i through the
+// record-at-a-time protocol, reconstructing each record from the lanes.
+// This is the path predictors without a batch fast path take (oracle, the
+// value-aware CBT, the filtered/multi PPM extensions).
+//
+//ppm:hotpath per-record fallback under the block engine
+func (e *Engine) processBlockSlow(i int, b *trace.Block) {
+	p := e.preds[i]     //lint:idxsafe i < len(e.preds) by construction (caller iterates e.bp, same length)
+	va := e.va[i]       //lint:idxsafe i < len(e.preds) == len(e.va) by construction
+	c := &e.counters[i] //lint:idxsafe i < len(e.preds) == len(e.counters) by construction
+	for k := 0; k < b.Len(); k++ {
+		r := b.Record(k)
+		if r.MTIndirect() {
+			if va != nil {
+				va.SetValue(r.Value)
+			}
+			target, ok := p.Predict(r.PC)
+			c.Record(ok && target == r.Target, ok)
+			p.Update(r.PC, r.Target)
+		}
+		p.Observe(r)
+	}
+}
+
+// ProcessBlocks feeds a pre-decoded block sequence, block by block.
+func (e *Engine) ProcessBlocks(blks []trace.Block) {
+	for i := range blks {
+		e.ProcessBlock(&blks[i])
+	}
+}

@@ -22,7 +22,11 @@ type Engine struct {
 	// va is the ValueAware lane: va[i] is non-nil iff preds[i] consumes
 	// the switch variable value. Precomputed at construction so Process
 	// does not pay a type assertion per predictor per MT record.
-	va       []ValueAware
+	va []ValueAware
+	// bp is the batch lane: bp[i] is non-nil iff preds[i] opts into
+	// whole-block processing via BlockPredictor, letting ProcessBlock
+	// skip the record-at-a-time fallback for it.
+	bp       []BlockPredictor
 	counters []stats.Counters
 	ras      *ras.Stack
 	records  uint64
@@ -35,6 +39,7 @@ func New(preds ...predictor.IndirectPredictor) *Engine {
 	e := &Engine{
 		preds:    preds,
 		va:       make([]ValueAware, len(preds)),
+		bp:       make([]BlockPredictor, len(preds)),
 		counters: make([]stats.Counters, len(preds)),
 		ras:      ras.New(64),
 	}
@@ -42,6 +47,9 @@ func New(preds ...predictor.IndirectPredictor) *Engine {
 		e.counters[i].Predictor = p.Name()
 		if v, ok := p.(ValueAware); ok {
 			e.va[i] = v
+		}
+		if b, ok := p.(BlockPredictor); ok {
+			e.bp[i] = b
 		}
 	}
 	return e

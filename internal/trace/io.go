@@ -135,6 +135,57 @@ func NewReader(r io.Reader) (*Reader, error) {
 	return &Reader{r: br}, nil
 }
 
+// Reset repoints the Reader at a new stream, reusing the internal buffered
+// reader and its 64 KiB buffer instead of reallocating them. The header is
+// revalidated and the delta-decode state rewound, so a Reset reader behaves
+// exactly like one from NewReader. Callers that drain many traces in a loop
+// (the block cache's decode path, benchmarks) Reset one Reader rather than
+// paying a buffer allocation per trace.
+func (r *Reader) Reset(src io.Reader) error {
+	r.r.Reset(src)
+	r.prevPC, r.count, r.hint = 0, 0, 0
+	hdr, err := r.r.Peek(len(magic))
+	if err != nil {
+		return fmt.Errorf("trace: reading header: %w", err)
+	}
+	if string(hdr) != magic {
+		return ErrBadMagic
+	}
+	r.r.Discard(len(magic))
+	return nil
+}
+
+// uvarint decodes one unsigned varint from the buffered stream. Equivalent
+// to binary.ReadUvarint(r.r) but calls the concrete *bufio.Reader directly:
+// the stdlib helper takes an io.ByteReader, which costs an interface
+// dispatch per byte on the hottest loop in the decode path.
+//
+//ppm:hotpath per-field varint decode under Read
+func (r *Reader) uvarint() (uint64, error) {
+	var v uint64
+	var shift uint
+	for {
+		b, err := r.r.ReadByte()
+		if err != nil {
+			return 0, err
+		}
+		if b < 0x80 {
+			if shift >= 64 || (shift == 63 && b > 1) {
+				return 0, errVarintOverflow //lint:coldpath — corrupt stream
+			}
+			return v | uint64(b)<<shift, nil
+		}
+		if shift >= 64 {
+			return 0, errVarintOverflow //lint:coldpath — corrupt stream
+		}
+		v |= uint64(b&0x7f) << shift
+		shift += 7
+	}
+}
+
+// errVarintOverflow mirrors the stdlib's binary.ReadUvarint overflow error.
+var errVarintOverflow = errors.New("binary: varint overflows a 64-bit integer")
+
 // Read returns the next record, or io.EOF at end of trace.
 func (r *Reader) Read() (Record, error) {
 	flags, err := r.r.ReadByte()
@@ -144,15 +195,15 @@ func (r *Reader) Read() (Record, error) {
 		}
 		return Record{}, err
 	}
-	pcd, err := binary.ReadUvarint(r.r)
+	pcd, err := r.uvarint()
 	if err != nil {
 		return Record{}, truncated(err)
 	}
-	tgtd, err := binary.ReadUvarint(r.r)
+	tgtd, err := r.uvarint()
 	if err != nil {
 		return Record{}, truncated(err)
 	}
-	gap, err := binary.ReadUvarint(r.r)
+	gap, err := r.uvarint()
 	if err != nil {
 		return Record{}, truncated(err)
 	}
@@ -163,7 +214,7 @@ func (r *Reader) Read() (Record, error) {
 		Gap:   uint32(gap),
 	}
 	if flags&flagValue != 0 {
-		v, err := binary.ReadUvarint(r.r)
+		v, err := r.uvarint()
 		if err != nil {
 			return Record{}, truncated(err)
 		}

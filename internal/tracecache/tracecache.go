@@ -39,13 +39,19 @@ type Stats struct {
 	// Oversize counts traces larger than the whole budget: they are served
 	// to their waiters but never become resident (see Get).
 	Oversize uint64
-	Bytes    int64 // resident record bytes
-	Entries  int
+	// Bytes is the total resident footprint: record storage plus, for
+	// entries whose columnar form has been materialized by GetBlocks, the
+	// block storage under the columnar size model (trace.BlocksBytes).
+	Bytes int64
+	// BlockBytes is the columnar portion of Bytes: what the resident
+	// pre-decoded blocks cost on top of the record slices.
+	BlockBytes int64
+	Entries    int
 }
 
 func (s Stats) String() string {
-	return fmt.Sprintf("hits=%d misses=%d generated=%d evicted=%d oversize=%d entries=%d bytes=%d",
-		s.Hits, s.Misses, s.Generated, s.Evicted, s.Oversize, s.Entries, s.Bytes)
+	return fmt.Sprintf("hits=%d misses=%d generated=%d evicted=%d oversize=%d entries=%d bytes=%d blockbytes=%d",
+		s.Hits, s.Misses, s.Generated, s.Evicted, s.Oversize, s.Entries, s.Bytes, s.BlockBytes)
 }
 
 // entry is one cached trace. recs and sum are written exactly once, before
@@ -54,8 +60,18 @@ type entry struct {
 	key   string
 	recs  []trace.Record
 	sum   workload.Summary
-	bytes int64
+	bytes int64 // accounted footprint: records, plus blocks once attached
 	ready chan struct{}
+
+	// blocks is the pre-decoded columnar form, converted lazily by the
+	// first GetBlocks on the entry. blocksReady is nil until a caller
+	// claims the conversion; it is closed with blocks already set, so
+	// waiters receive and then read blocks. blockBytes is the columnar
+	// portion of bytes, tracked separately so eviction can settle the
+	// Stats.BlockBytes ledger.
+	blocks      []trace.Block
+	blocksReady chan struct{}
+	blockBytes  int64
 
 	// LRU list links; nil/nil when unlinked (evicted or generating).
 	prev, next *entry
@@ -116,7 +132,18 @@ func (c *Cache) Get(cfg workload.Config) ([]trace.Record, workload.Summary) {
 		return recs, sum
 	}
 
-	key := Fingerprint(cfg)
+	e := c.getEntry(Fingerprint(cfg), cfg)
+	<-e.ready
+	return e.recs, e.sum
+}
+
+// getEntry returns the live entry for key, generating the records on a
+// miss. The caller must receive on the returned entry's ready channel
+// before reading recs/sum. Accounting settles before ready closes, so once
+// a waiter is released the entry is either resident (mapped, linked,
+// counted in Stats.Bytes) or already forgotten (oversize) — an invariant
+// GetBlocks relies on when it attaches block storage to the entry later.
+func (c *Cache) getEntry(key string, cfg workload.Config) *entry {
 	c.mu.Lock()
 	if e, ok := c.entries[key]; ok {
 		c.stats.Hits++
@@ -125,8 +152,7 @@ func (c *Cache) Get(cfg workload.Config) ([]trace.Record, workload.Summary) {
 			c.pushFront(e)
 		}
 		c.mu.Unlock()
-		<-e.ready
-		return e.recs, e.sum
+		return e
 	}
 	e := &entry{key: key, ready: make(chan struct{})}
 	c.entries[key] = e
@@ -136,7 +162,6 @@ func (c *Cache) Get(cfg workload.Config) ([]trace.Record, workload.Summary) {
 
 	e.recs, e.sum = generate(cfg)
 	e.bytes = int64(cap(e.recs)) * recordBytes
-	close(e.ready)
 
 	c.mu.Lock()
 	// A budget pass triggered by another insert may have dropped the entry
@@ -148,8 +173,8 @@ func (c *Cache) Get(cfg workload.Config) ([]trace.Record, workload.Summary) {
 			// would force evictOver to flush every smaller entry first and
 			// then evict the newcomer itself on the next insert — thrashing
 			// the cache without the big trace ever being a useful resident.
-			// Serve it to the waiters who already hold e.ready and forget
-			// it; it never enters the LRU list or the byte accounting.
+			// Serve it to the waiters blocked on e.ready and forget it; it
+			// never enters the LRU list or the byte accounting.
 			delete(c.entries, key)
 			c.stats.Oversize++
 		} else {
@@ -159,7 +184,71 @@ func (c *Cache) Get(cfg workload.Config) ([]trace.Record, workload.Summary) {
 		}
 	}
 	c.mu.Unlock()
-	return e.recs, e.sum
+	close(e.ready)
+	return e
+}
+
+// GetBlocks returns cfg's trace in pre-decoded columnar form, plus its
+// summary. The blocks are converted from the cached records on first use
+// and then shared: re-simulation through the block engine never re-decodes
+// a trace the cache already holds. Like Get's record slices, the returned
+// blocks are shared across callers and MUST be treated as immutable.
+//
+// Block storage joins the owning entry's budget accounting under the
+// columnar size model (trace.BlocksBytes), so a trace cached in both forms
+// is charged for both; if the combined footprint exceeds the whole budget
+// the entry is served to its waiters and forgotten, as Get does for
+// oversize record sets.
+func (c *Cache) GetBlocks(cfg workload.Config) ([]trace.Block, workload.Summary) {
+	if c.disabled {
+		recs, sum := generate(cfg)
+		c.mu.Lock()
+		c.stats.Misses++
+		c.stats.Generated++
+		c.mu.Unlock()
+		return trace.Blocks(recs), sum
+	}
+
+	key := Fingerprint(cfg)
+	e := c.getEntry(key, cfg)
+	<-e.ready
+
+	c.mu.Lock()
+	if ready := e.blocksReady; ready != nil {
+		// Another caller owns (or finished) the conversion.
+		c.mu.Unlock()
+		<-ready
+		return e.blocks, e.sum
+	}
+	ready := make(chan struct{})
+	e.blocksReady = ready
+	c.mu.Unlock()
+
+	blks := trace.Blocks(e.recs)
+	bb := trace.BlocksBytes(blks)
+	e.blocks = blks
+	e.blockBytes = bb
+	close(ready)
+
+	c.mu.Lock()
+	// Only an entry still mapped (i.e. still resident — getEntry settles
+	// accounting before ready closes) carries the block storage into the
+	// ledger; an entry evicted while converting just serves its waiters.
+	if c.entries[key] == e {
+		if c.budget > 0 && e.bytes+bb > c.budget {
+			c.unlink(e)
+			delete(c.entries, key)
+			c.stats.Bytes -= e.bytes
+			c.stats.Oversize++
+		} else {
+			e.bytes += bb
+			c.stats.Bytes += bb
+			c.stats.BlockBytes += bb
+			c.evictOver()
+		}
+	}
+	c.mu.Unlock()
+	return blks, e.sum
 }
 
 // generate materializes the config into memory. The slack trim matters:
@@ -188,6 +277,7 @@ func (c *Cache) evictOver() {
 		c.unlink(e)
 		delete(c.entries, e.key)
 		c.stats.Bytes -= e.bytes
+		c.stats.BlockBytes -= e.blockBytes
 		c.stats.Evicted++
 	}
 }

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/history"
 	"repro/internal/predictor"
+	"repro/internal/stats"
 	"repro/internal/trace"
 )
 
@@ -127,6 +128,55 @@ func (d *DualPath) Hit() bool { return d.pending.shortOK || d.pending.longOK }
 func (d *DualPath) Observe(r trace.Record) {
 	d.short.Observe(r)
 	d.long.Observe(r)
+}
+
+// MTOnly reports whether both components record only the MT-indirect
+// stream — i.e. Observe is a no-op for every record outside the block's
+// MTIdx lane. True for the paper's Dpath and Cascade configurations.
+func (d *DualPath) MTOnly() bool {
+	return d.short.hist.Stream() == history.MTIndirectBranches &&
+		d.long.hist.Stream() == history.MTIndirectBranches
+}
+
+// PushMT shifts a resolved target into both components' history registers:
+// the Observe step for a record already known to be in the MT-indirect
+// stream. Callers (the batch paths here and in package cascade) must have
+// checked MTOnly.
+//
+//ppm:hotpath per-record history-register shift
+func (d *DualPath) PushMT(target uint64) {
+	d.short.hist.Push(target)
+	d.long.hist.Push(target)
+}
+
+// ProcessBlock implements the engine's batch fast path. With both
+// components on the MT-indirect stream the entire predictor — lookup,
+// training, selector and history — is driven by the MTIdx lane alone;
+// exotic configurations replay record-exactly.
+//
+//ppm:hotpath whole-block Dual-path replay over the MT index lane
+func (d *DualPath) ProcessBlock(b *trace.Block, c *stats.Counters) {
+	if !d.MTOnly() {
+		for i := 0; i < b.Len(); i++ {
+			r := b.Record(i)
+			if r.MTIndirect() {
+				target, ok := d.Predict(r.PC)
+				c.Record(ok && target == r.Target, ok)
+				d.Update(r.PC, r.Target)
+			}
+			d.Observe(r)
+		}
+		return
+	}
+	pcs, tgts := b.PC, b.Target
+	for _, k := range b.MTIdx {
+		pc := pcs[k]   //lint:idxsafe MTIdx entries index the block's lanes by construction
+		tgt := tgts[k] //lint:idxsafe MTIdx entries index the block's lanes by construction
+		target, ok := d.Predict(pc)
+		c.Record(ok && target == tgt, ok)
+		d.Update(pc, tgt)
+		d.PushMT(tgt)
+	}
 }
 
 // Reset implements predictor.Resetter.

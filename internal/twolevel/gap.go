@@ -6,6 +6,7 @@ import (
 	"repro/internal/hashing"
 	"repro/internal/history"
 	"repro/internal/predictor"
+	"repro/internal/stats"
 	"repro/internal/trace"
 )
 
@@ -173,6 +174,52 @@ func (g *GAp) UpdateAlloc(_, target uint64, allocate bool) {
 
 // Observe implements predictor.IndirectPredictor.
 func (g *GAp) Observe(r trace.Record) { g.hist.Observe(r) }
+
+// ProcessBlock implements the engine's batch fast path. A GAp's only
+// per-record work outside MT-indirect branches is its history register, so
+// when the configured stream matches one of the block's precomputed index
+// lanes the loop walks that lane and never visits the rest of the stream;
+// other streams take the record-exact loop.
+//
+//ppm:hotpath whole-block GAp replay over the indirect index lanes
+func (g *GAp) ProcessBlock(b *trace.Block, c *stats.Counters) {
+	pcs, tgts, metas := b.PC, b.Target, b.Meta
+	switch g.hist.Stream() {
+	case history.IndirectBranches:
+		for _, k := range b.PIBIdx {
+			tgt := tgts[k] //lint:idxsafe PIBIdx entries index the block's lanes by construction
+			//lint:idxsafe PIBIdx entries index the block's lanes by construction
+			if metas[k]&trace.MetaMT != 0 {
+				pc := pcs[k] //lint:idxsafe PIBIdx entries index the block's lanes by construction
+				target, ok := g.Predict(pc)
+				c.Record(ok && target == tgt, ok)
+				g.Update(pc, tgt)
+			}
+			g.hist.Push(tgt)
+		}
+	case history.MTIndirectBranches:
+		for _, k := range b.MTIdx {
+			pc := pcs[k]   //lint:idxsafe MTIdx entries index the block's lanes by construction
+			tgt := tgts[k] //lint:idxsafe MTIdx entries index the block's lanes by construction
+			target, ok := g.Predict(pc)
+			c.Record(ok && target == tgt, ok)
+			g.Update(pc, tgt)
+			g.hist.Push(tgt)
+		}
+	default:
+		// AllBranches / TakenBranches streams (no shipped configuration):
+		// replay record-exactly.
+		for i := 0; i < b.Len(); i++ {
+			r := b.Record(i)
+			if r.MTIndirect() {
+				target, ok := g.Predict(r.PC)
+				c.Record(ok && target == r.Target, ok)
+				g.Update(r.PC, r.Target)
+			}
+			g.hist.Observe(r)
+		}
+	}
+}
 
 // Reset implements predictor.Resetter.
 func (g *GAp) Reset() {

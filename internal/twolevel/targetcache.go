@@ -6,6 +6,7 @@ import (
 	"repro/internal/hashing"
 	"repro/internal/history"
 	"repro/internal/predictor"
+	"repro/internal/stats"
 	"repro/internal/trace"
 )
 
@@ -102,6 +103,48 @@ func (t *TargetCache) Update(_, target uint64) {
 
 // Observe implements predictor.IndirectPredictor.
 func (t *TargetCache) Observe(r trace.Record) { t.hist.Observe(r) }
+
+// ProcessBlock implements the engine's batch fast path; like GAp, the only
+// non-MT work is the history register, so the loop walks the index lane
+// matching the configured stream.
+//
+//ppm:hotpath whole-block Target Cache replay over the indirect index lanes
+func (t *TargetCache) ProcessBlock(b *trace.Block, c *stats.Counters) {
+	pcs, tgts, metas := b.PC, b.Target, b.Meta
+	switch t.hist.Stream() {
+	case history.IndirectBranches:
+		for _, k := range b.PIBIdx {
+			tgt := tgts[k] //lint:idxsafe PIBIdx entries index the block's lanes by construction
+			//lint:idxsafe PIBIdx entries index the block's lanes by construction
+			if metas[k]&trace.MetaMT != 0 {
+				pc := pcs[k] //lint:idxsafe PIBIdx entries index the block's lanes by construction
+				target, ok := t.Predict(pc)
+				c.Record(ok && target == tgt, ok)
+				t.Update(pc, tgt)
+			}
+			t.hist.Push(tgt)
+		}
+	case history.MTIndirectBranches:
+		for _, k := range b.MTIdx {
+			pc := pcs[k]   //lint:idxsafe MTIdx entries index the block's lanes by construction
+			tgt := tgts[k] //lint:idxsafe MTIdx entries index the block's lanes by construction
+			target, ok := t.Predict(pc)
+			c.Record(ok && target == tgt, ok)
+			t.Update(pc, tgt)
+			t.hist.Push(tgt)
+		}
+	default:
+		for i := 0; i < b.Len(); i++ {
+			r := b.Record(i)
+			if r.MTIndirect() {
+				target, ok := t.Predict(r.PC)
+				c.Record(ok && target == r.Target, ok)
+				t.Update(r.PC, r.Target)
+			}
+			t.hist.Observe(r)
+		}
+	}
+}
 
 // Reset implements predictor.Resetter.
 func (t *TargetCache) Reset() {
