@@ -4,7 +4,7 @@
 GO      ?= go
 FUZZTIME ?= 30s
 
-.PHONY: all build test race lint fmt vet ppmlint lint-concurrency lint-codegen escapes-check escapes-update bce-check bce-update inline-check inline-update gates bench bench-experiments bench-blocks parallel-smoke block-smoke serve-smoke check-quick check fuzz-smoke ci
+.PHONY: all build test race lint fmt vet ppmlint lint-concurrency lint-codegen escapes-check escapes-update bce-check bce-update inline-check inline-update gates bench bench-experiments bench-sessions bench-blocks parallel-smoke block-smoke serve-smoke session-smoke check-quick check fuzz-smoke ci
 
 all: build
 
@@ -86,6 +86,12 @@ bench:
 bench-experiments:
 	$(GO) run ./cmd/benchjson -experiments -out BENCH_experiments.json
 
+# Benchmark the live-session loop (create + predict stream over real HTTP)
+# and refresh the checked-in snapshot: sessions/s, serialized bytes per
+# trained session, and the server's predict-call latency quantiles.
+bench-sessions:
+	$(GO) run ./cmd/benchjson -sessions -out BENCH_sessions.json
+
 # Just the block-engine rows of the grid benchmark, printed to stdout: a
 # quick local read on the single-core blocks-vs-serial speedup without
 # rewriting the full snapshot (that is `make bench-experiments`).
@@ -119,6 +125,14 @@ block-smoke:
 serve-smoke:
 	sh scripts/serve-smoke.sh
 
+# End-to-end gate for the live-session subsystem: boots a real ppmserved,
+# trains a session over a predict stream, snapshots it, restores the bytes
+# into a fresh session, and requires byte-identical continuation — NDJSON
+# prediction streams and final snapshots both — then SIGTERMs the daemon
+# with live sessions to prove the drain completes cleanly.
+session-smoke:
+	sh scripts/session-smoke.sh
+
 lint: fmt vet ppmlint
 
 # The correctness harness's bounded CI pass: regression-corpus replay, a
@@ -134,9 +148,11 @@ check-quick:
 check:
 	$(GO) run ./cmd/ppmcheck -seeds 200 -events 5000
 
-# A short fuzz of the trace reader keeps the parser honest against corpus
-# drift without turning CI into a fuzzing farm.
+# Short fuzz slices keep the parsers honest without turning CI into a
+# fuzzing farm: the IBT2 trace reader, and the snapshot codec (round-trip
+# identity plus typed-error rejection of corrupted/truncated state).
 fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzReader -fuzztime=$(FUZZTIME) ./internal/trace
+	$(GO) test -run='^$$' -fuzz=FuzzStateRoundTrip -fuzztime=$(FUZZTIME) ./internal/state
 
-ci: build lint lint-concurrency lint-codegen gates race parallel-smoke block-smoke serve-smoke check-quick fuzz-smoke
+ci: build lint lint-concurrency lint-codegen gates race parallel-smoke block-smoke serve-smoke session-smoke check-quick fuzz-smoke

@@ -20,6 +20,12 @@
 // serial/parallel and serial/blocks speedups, and the cache traffic metrics
 // proving each suite trace was generated exactly once.
 //
+// With -sessions it runs BenchmarkLiveSessions in internal/serve at a fixed
+// op count: one op is one whole live session (create + predict stream over
+// real HTTP), and the custom metrics — sessions/s, state-bytes/session,
+// predict-p50-ms/predict-p99-ms — land in each row's metrics map. `make
+// bench-sessions` regenerates the checked-in BENCH_sessions.json.
+//
 // The determinism analyzer bans time.Now outside tests, so all timing
 // comes from the testing framework's benchmark clock, parsed from ns/op.
 package main
@@ -51,11 +57,17 @@ func main() {
 	benchRe := flag.String("bench", "", "benchmark regexp passed to go test (default depends on mode)")
 	benchtime := flag.String("benchtime", "", "benchtime passed to go test (default depends on mode)")
 	experiments := flag.Bool("experiments", false, "snapshot the experiment-grid benchmark (serial vs parallel wall-clock) instead of predictor throughput")
+	sessions := flag.Bool("sessions", false, "snapshot the live-session benchmark (sessions/s, predict latency, bytes/session) instead of predictor throughput")
 	flag.Parse()
 
 	pkg, defRe, defTime, defOut := ".", "^BenchmarkPredictorThroughput$", "200000x", "BENCH_predictors.json"
 	if *experiments {
 		pkg, defRe, defTime, defOut = "./cmd/experiments", "^BenchmarkExperiments$", "1x", "BENCH_experiments.json"
+	}
+	if *sessions {
+		// Fixed op count keeps the snapshot's shape machine-independent,
+		// like the predictor mode; only the timing columns reflect the host.
+		pkg, defRe, defTime, defOut = "./internal/serve", "^BenchmarkLiveSessions$", "100x", "BENCH_sessions.json"
 	}
 	if *benchRe == "" {
 		*benchRe = defRe

@@ -62,6 +62,11 @@ type env struct {
 	// columnar blocks via sched.SimulateBlocks instead of record slices.
 	// Results are identical either way; only wall-clock differs.
 	blocks bool
+	// savestate/warmstart switch the warmstart experiment into its
+	// cross-process modes: write a mid-trace PPM-hyb snapshot to a file, or
+	// restore one and prove byte-identical continuation (see warmstart.go).
+	savestate string
+	warmstart string
 }
 
 // simulate runs every suite config through a fresh instance of the
@@ -86,12 +91,24 @@ func main() {
 		useCache   = flag.Bool("tracecache", true, "cache generated traces; false regenerates per analysis (the pre-cache baseline)")
 		useBlocks  = flag.Bool("blocks", true, "simulate via the batched block engine; false uses the record-at-a-time engine (identical output)")
 		cacheStats = flag.Bool("cachestats", false, "print trace cache statistics to stderr after the run")
+		savestate  = flag.String("savestate", "", "warmstart experiment: write a mid-trace PPM-hyb snapshot to this file")
+		warmstart  = flag.String("warmstart", "", "warmstart experiment: restore this snapshot and verify byte-identical continuation")
 	)
 	selected := make(map[string]*bool, len(experiments))
 	for _, ex := range experiments {
+		if flag.Lookup(ex.name) != nil {
+			// The experiment shares its name with a mode flag (warmstart's
+			// -warmstart FILE): selection happens below, via that flag or
+			// positionally.
+			selected[ex.name] = new(bool)
+			continue
+		}
 		selected[ex.name] = flag.Bool(ex.name, false, ex.group+": "+ex.doc)
 	}
 	flag.Parse()
+	if *savestate != "" || *warmstart != "" {
+		*selected["warmstart"] = true
+	}
 
 	if *list {
 		for _, ex := range experiments {
@@ -128,11 +145,13 @@ func main() {
 		cache = tracecache.Disabled()
 	}
 	e := &env{
-		out:    os.Stdout,
-		suite:  filterRuns(bench.Sized(*events), *runFilter),
-		cache:  cache,
-		pool:   sched.New(*jobs),
-		blocks: *useBlocks,
+		out:       os.Stdout,
+		suite:     filterRuns(bench.Sized(*events), *runFilter),
+		cache:     cache,
+		pool:      sched.New(*jobs),
+		blocks:    *useBlocks,
+		savestate: *savestate,
+		warmstart: *warmstart,
 	}
 	for _, ex := range experiments {
 		if *selected[ex.name] {

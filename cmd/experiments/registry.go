@@ -48,4 +48,5 @@ var experiments = []experiment{
 	{"cond", "extension", "Section 3 substrate: conditional direction predictors", printCond},
 	{"budget", "extension", "hardware budget accounting in entries and bits", printBudget},
 	{"multi", "extension", "Section 4 alternative: multi-target majority-vote Markov states", printMulti},
+	{"warmstart", "extension", "snapshot/restore warm-start continuation (see -savestate/-warmstart)", printWarmstart},
 }

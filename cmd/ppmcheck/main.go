@@ -1,9 +1,11 @@
 // Command ppmcheck is the simulator's correctness harness: it hunts for
 // disagreements between the optimized predictors and their naive references,
-// replays the checked-in regression corpus, runs the metamorphic properties
-// (caching, worker count, serving and session granularity must never change
-// a result byte), and sweeps fault injection across the trace decoder and
-// the upload path.
+// between the block engine and the record engine, and between
+// snapshot/restore-at-every-cut chains and uncut runs; it replays the
+// checked-in regression corpus, runs the metamorphic properties (caching,
+// worker count, serving and session granularity must never change a result
+// byte), and sweeps fault injection across the trace decoder and the upload
+// path.
 //
 //	ppmcheck -quick              the bounded CI pass (corpus + small sweeps)
 //	ppmcheck -seeds 500          a long differential hunt
@@ -40,14 +42,19 @@ func main() {
 		*seeds, *events = 6, 800
 	}
 	fams := check.Families()
+	// The snapshot hunt also covers the snapshot-capable extension
+	// predictors; -families restricts both hunts to the same list.
+	stateFams := check.StateFamilies()
 	if *families != "" {
 		fams = strings.Split(*families, ",")
+		stateFams = fams
 	}
 
 	ok := true
 	ok = replayCorpus(*corpus) && ok
 	ok = diffHunt(fams, *seeds, *events, *corpus) && ok
 	ok = blocksHunt(fams, *seeds, *events, *corpus) && ok
+	ok = stateHunt(stateFams, *seeds, *events, *corpus) && ok
 	ok = run("metamorphic", check.Metamorphic(1, *events)) && ok
 	ok = run("truncation sweep", check.TruncationSweep(check.RandomRecords(9, 60), nil)) && ok
 	ok = run("errafter sweep", check.ErrAfterSweep(check.RandomRecords(9, 60))) && ok
@@ -171,6 +178,50 @@ func blocksHunt(fams []string, seeds, events int, corpusDir string) bool {
 	}
 	if ok {
 		fmt.Printf("ok   blocks-vs-records (%d families x %d seeds x 2 streams)\n", len(fams), seeds)
+	}
+	return ok
+}
+
+// stateHunt lock-steps every family's snapshot/restore-at-every-cut chain
+// against its uncut replay over randomized traces; a divergence is minimized
+// against the snapshot predicate and written back into the corpus.
+func stateHunt(fams []string, seeds, events int, corpusDir string) bool {
+	ok := true
+	for _, fam := range fams {
+		for seed := uint64(1); seed <= uint64(seeds); seed++ {
+			for _, in := range []struct {
+				kind string
+				recs []trace.Record
+			}{
+				{"workload", check.RandomTrace(seed, events)},
+				{"raw", check.RandomRecords(seed, events)},
+			} {
+				d, err := check.DiffState(fam, in.recs)
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "FAIL snapshot-restore %s: %v\n", fam, err)
+					return false
+				}
+				if d == nil {
+					continue
+				}
+				ok = false
+				min := check.Shrink(in.recs, func(r []trace.Record) bool { return check.DivergesState(fam, r) })
+				fmt.Fprintf(os.Stderr, "FAIL snapshot-restore %s (%s seed %d): %s\n  minimized to %d records\n", fam, in.kind, seed, d, len(min))
+				seedName := fmt.Sprintf("state-%s-seed%d", strings.ToLower(fam), seed)
+				werr := check.WriteSeed(corpusDir, check.Seed{
+					Name: seedName, Family: fam, Kind: "state",
+					Note: fmt.Sprintf("minimized snapshot/restore divergence found by ppmcheck (%s stream, seed %d)", in.kind, seed),
+				}, min)
+				if werr != nil {
+					fmt.Fprintf(os.Stderr, "  (could not write corpus seed: %v)\n", werr)
+				} else {
+					fmt.Fprintf(os.Stderr, "  repro written to %s/%s.{json,ibt2}\n", corpusDir, seedName)
+				}
+			}
+		}
+	}
+	if ok {
+		fmt.Printf("ok   snapshot-restore (%d families x %d seeds x 2 streams)\n", len(fams), seeds)
 	}
 	return ok
 }

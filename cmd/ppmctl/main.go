@@ -6,6 +6,9 @@
 //	ppmctl results j-1 -render -title "Figure 6: misprediction ratios (%), 2K-entry predictors"
 //	ppmctl cancel j-1
 //	ppmctl bench -c 4 -n 64 -workloads eqn -events 2000
+//	ppmctl session create -predictor PPM-hyb
+//	ppmctl session predict -workload eqn -events 1000 s-1
+//	ppmctl bench -sessions 200 -c 8 -workloads eqn -events 1000
 //
 // submit posts a job spec (or streams an IBT2 trace file) and prints the
 // created job's status JSON; with -wait it follows the NDJSON result stream
@@ -48,7 +51,8 @@ commands:
   results  stream a job's NDJSON results (-render for the matrix view)
   cancel   cancel a job
   stats    print the server's /statsz counters
-  bench    closed-loop load generator against the server`)
+  session  live prediction sessions (create/list/status/close/predict/state/restore)
+  bench    closed-loop load generator against the server (-sessions N for live sessions)`)
 	return 2
 }
 
@@ -76,6 +80,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return c.cancel(rest, stdout, stderr)
 	case "stats":
 		return c.stats(stdout, stderr)
+	case "session":
+		return c.session(rest, stdout, stderr)
 	case "bench":
 		return c.bench(rest, stdout, stderr)
 	default:
@@ -332,8 +338,16 @@ func (c *client) bench(args []string, stdout, stderr io.Writer) int {
 	suite, workloads, predictors, events := specFlags(fs)
 	conc := fs.Int("c", 4, "concurrent closed-loop workers")
 	total := fs.Int("n", 32, "total jobs to run")
+	sessions := fs.Int("sessions", 0, "drive N live prediction sessions instead of jobs")
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+	if *sessions > 0 {
+		// Live-session mode: -workloads names the generator run (first
+		// entry), -predictors the session's family (first entry).
+		run := strings.Split(*workloads, ",")[0]
+		pred := strings.Split(*predictors, ",")[0]
+		return c.benchSessions(*sessions, *conc, pred, run, *events, stdout, stderr)
 	}
 	spec := buildSpec(*suite, *workloads, *predictors, *events)
 

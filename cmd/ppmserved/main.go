@@ -60,6 +60,9 @@ func run(args []string, stderr io.Writer, ready chan<- net.Addr) int {
 		cacheMB      = fs.Int("cache-mb", 0, "trace cache budget in MiB (0 = default)")
 		maxEvents    = fs.Int("max-events", 0, "cap on per-run dispatch events in a job spec (0 = default)")
 		maxUploadMB  = fs.Int64("max-upload-mb", 0, "cap on an uploaded trace body in MiB (0 = default)")
+		maxSessions  = fs.Int("max-sessions", 0, "live prediction sessions held at once (0 = default)")
+		sessionMB    = fs.Int64("session-mb", 0, "memory budget for live session state in MiB (0 = default)")
+		sessionTTL   = fs.Duration("session-ttl", 0, "idle live-session retention (0 = default)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -79,6 +82,9 @@ func run(args []string, stderr io.Writer, ready chan<- net.Addr) int {
 		CacheBytes:     int64(*cacheMB) << 20,
 		MaxEvents:      *maxEvents,
 		MaxUploadBytes: *maxUploadMB << 20,
+		MaxSessions:    *maxSessions,
+		SessionBytes:   *sessionMB << 20,
+		SessionTTL:     *sessionTTL,
 	})
 	publishOnce.Do(func() { expvar.Publish("ppmserved", srv.Vars()) })
 

@@ -40,6 +40,9 @@ import (
 //   - "blocks": replay the companion trace through DiffBlocks for Family
 //     (or every family when Family is empty); the block engine must agree
 //     with the record engine at every probed block capacity.
+//   - "state": replay the companion trace through DiffState for Family
+//     (or every snapshot family when Family is empty); snapshotting and
+//     restoring at every probed cut cadence must match the uncut run.
 type Seed struct {
 	Name   string           `json:"name"`
 	Family string           `json:"family,omitempty"`
@@ -171,6 +174,22 @@ func ReplaySeed(e SeedEntry) error {
 		}
 		for _, fam := range families {
 			d, err := DiffBlocks(fam, e.Recs)
+			if err != nil {
+				return fmt.Errorf("seed %s: %w", e.Seed.Name, err)
+			}
+			if d != nil {
+				return fmt.Errorf("seed %s: %s", e.Seed.Name, d)
+			}
+		}
+		return nil
+
+	case "state":
+		families := StateFamilies()
+		if e.Seed.Family != "" {
+			families = []string{e.Seed.Family}
+		}
+		for _, fam := range families {
+			d, err := DiffState(fam, e.Recs)
 			if err != nil {
 				return fmt.Errorf("seed %s: %w", e.Seed.Name, err)
 			}

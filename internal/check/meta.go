@@ -231,6 +231,9 @@ func Metamorphic(seed uint64, events int) error {
 	if err := BlockEngineIdentity(RandomTrace(seed+3, events), ExtensionPredictors); err != nil {
 		return err
 	}
+	if err := StateIdentity(RandomTrace(seed+4, events)); err != nil {
+		return err
+	}
 	workloads := []string{"troff.ped", "eqn"}
 	if err := ServedVsSerial(workloads, events, "fig6"); err != nil {
 		return err

@@ -22,6 +22,16 @@ func NewHysteresis() Hysteresis { return Hysteresis{v: 1} }
 // Value exposes the raw 2-bit state, for tests and debug dumps.
 func (h Hysteresis) Value() uint8 { return h.v }
 
+// HysteresisFromValue reconstructs a counter from its raw 2-bit state, the
+// inverse of Value used by snapshot restore. ok is false when v exceeds the
+// 2-bit range.
+func HysteresisFromValue(v uint8) (h Hysteresis, ok bool) {
+	if v > 3 {
+		return Hysteresis{}, false
+	}
+	return Hysteresis{v: v}, true
+}
+
 // OnHit strengthens confidence after the stored target proved correct.
 //
 //ppm:hotpath per-prediction counter state transition
@@ -112,6 +122,16 @@ func NewSelection(mode SelectionMode) Selection {
 
 // State exposes the raw 2-bit state for tests and debug dumps.
 func (s Selection) State() uint8 { return s.state }
+
+// SelectionFromState reconstructs a counter from its raw 2-bit state and
+// mode, the inverse of State used by snapshot restore. ok is false when
+// raw exceeds the 2-bit range.
+func SelectionFromState(raw uint8, mode SelectionMode) (s Selection, ok bool) {
+	if raw > StronglyPIB {
+		return Selection{}, false
+	}
+	return Selection{state: raw, mode: mode}, true
+}
 
 // Selected returns the correlation type the branch currently uses.
 //

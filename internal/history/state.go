@@ -1,0 +1,60 @@
+package history
+
+import "repro/internal/state"
+
+// SaveState appends the register's contents as a snapshot section. The
+// names avoid the in-memory Snapshot/Restore(State) pair above, which the
+// workload generator uses for cheap intra-process rewinds; this pair is the
+// durable binary form.
+func (p *PHR) SaveState(w *state.Writer) {
+	w.Begin(state.SecPHR)
+	w.U8(uint8(p.stream))
+	w.U64(uint64(len(p.ring)))
+	w.U64(uint64(p.bitsPer))
+	w.U64(uint64(p.packedBits))
+	w.U64(uint64(p.head))
+	w.U64(uint64(p.filled))
+	w.U64(p.packed)
+	for _, t := range p.ring {
+		w.U64(t)
+	}
+	w.End()
+}
+
+// LoadState rebuilds the register in place from a SaveState section,
+// validating the configuration fingerprint and every positional field.
+func (p *PHR) LoadState(r *state.Reader) error {
+	if err := r.Begin(state.SecPHR); err != nil {
+		return err
+	}
+	stream := Stream(r.U8())
+	depth := r.U64()
+	bitsPer := r.U64()
+	packedBits := r.U64()
+	if err := r.Err(); err != nil {
+		return err
+	}
+	if stream != p.stream || depth != uint64(len(p.ring)) || bitsPer != uint64(p.bitsPer) || packedBits != uint64(p.packedBits) {
+		return state.Mismatchf("PHR %v/%d/%d/%d vs snapshot %v/%d/%d/%d",
+			p.stream, len(p.ring), p.bitsPer, p.packedBits, stream, depth, bitsPer, packedBits)
+	}
+	head := r.U64()
+	filled := r.U64()
+	packed := r.U64()
+	if err := r.Err(); err != nil {
+		return err
+	}
+	if head >= depth || filled > depth {
+		return state.Corruptf("PHR head %d / filled %d out of range for depth %d", head, filled, depth)
+	}
+	for i := range p.ring {
+		p.ring[i] = r.U64()
+	}
+	if err := r.End(); err != nil {
+		return err
+	}
+	p.head = int(head)
+	p.filled = int(filled)
+	p.packed = packed
+	return nil
+}

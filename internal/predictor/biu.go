@@ -17,9 +17,16 @@ type BIU struct {
 	mode    counter.SelectionMode
 	limit   int
 	entries map[uint64]*BIUEntry
-	order   []uint64 // insertion order, used for FIFO eviction when bounded
+	// order is the insertion order of live entries: the FIFO eviction queue
+	// when bounded, and the deterministic serialization order always (map
+	// iteration order must never reach a snapshot).
+	order []uint64
 
 	evictions uint64
+	// gen distinguishes entries written by the latest Restore from stale
+	// survivors of the previous state, so restore can reuse allocated
+	// entries in place and delete leftovers without any scratch storage.
+	gen uint32
 }
 
 // BIUEntry is the per-branch state held by the BIU.
@@ -28,6 +35,8 @@ type BIUEntry struct {
 	MT bool
 	// Sel is the correlation selection counter (Figure 5).
 	Sel counter.Selection
+
+	gen uint32 // restore generation; see BIU.gen
 }
 
 // NewBIU constructs a BIU whose selection counters follow the given Figure 5
@@ -65,16 +74,14 @@ func (b *BIU) Ensure(pc uint64) *BIUEntry {
 //ppm:coldpath first-touch allocation and eviction run once per static branch
 //go:noinline
 func (b *BIU) ensureSlow(pc uint64) *BIUEntry {
-	e := &BIUEntry{Sel: counter.NewSelection(b.mode)}
+	e := &BIUEntry{Sel: counter.NewSelection(b.mode), gen: b.gen}
 	b.entries[pc] = e
-	if b.limit > 0 {
-		b.order = append(b.order, pc)
-		if len(b.entries) > b.limit {
-			victim := b.order[0]
-			b.order = b.order[1:]
-			delete(b.entries, victim)
-			b.evictions++
-		}
+	b.order = append(b.order, pc)
+	if b.limit > 0 && len(b.entries) > b.limit {
+		victim := b.order[0]
+		b.order = b.order[1:]
+		delete(b.entries, victim)
+		b.evictions++
 	}
 	return e
 }

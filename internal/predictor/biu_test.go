@@ -127,7 +127,7 @@ func TestBIUEvictionCounterAccuracy(t *testing.T) {
 	}
 }
 
-func TestBIUUnboundedKeepsNoFIFOState(t *testing.T) {
+func TestBIUUnboundedKeepsInsertionOrder(t *testing.T) {
 	b := NewBIU(counter.Normal, 0)
 	for pc := uint64(0); pc < 100; pc++ {
 		b.Ensure(pc * 4)
@@ -138,10 +138,17 @@ func TestBIUUnboundedKeepsNoFIFOState(t *testing.T) {
 	if b.Evictions() != 0 {
 		t.Errorf("unbounded BIU reported %d evictions", b.Evictions())
 	}
-	// The paper's infinite BIU never evicts, so the bounded-mode FIFO order
-	// slice must stay empty rather than growing with every branch site.
-	if len(b.order) != 0 {
-		t.Errorf("unbounded BIU accumulated %d FIFO order slots", len(b.order))
+	// The order slice records insertion order even when unbounded: it is
+	// the deterministic serialization order for state snapshots (map
+	// iteration order must never reach the wire), covering exactly the
+	// live entries.
+	if len(b.order) != b.Len() {
+		t.Errorf("order tracks %d slots for %d live entries", len(b.order), b.Len())
+	}
+	for i, pc := range b.order {
+		if pc != uint64(i)*4 {
+			t.Fatalf("order[%d] = %#x, want %#x", i, pc, uint64(i)*4)
+		}
 	}
 }
 

@@ -1,0 +1,85 @@
+package predictor
+
+import (
+	"repro/internal/counter"
+	"repro/internal/state"
+)
+
+// SaveState appends the BIU contents as a snapshot section. Entries are
+// written in insertion order — the semantic order of the FIFO eviction
+// queue — never map order, so repeated snapshots of the same state are
+// byte-identical.
+func (b *BIU) SaveState(w *state.Writer) {
+	w.Begin(state.SecBIU)
+	w.U8(uint8(b.mode))
+	w.U64(uint64(b.limit))
+	w.U64(b.evictions)
+	w.U64(uint64(len(b.order)))
+	for _, pc := range b.order {
+		e := b.entries[pc]
+		w.U64(pc)
+		w.Bool(e.MT)
+		w.U8(e.Sel.State())
+	}
+	w.End()
+}
+
+// LoadState rebuilds the BIU in place from a SaveState section. Entries
+// already present for a snapshot pc are overwritten where they sit; stale
+// survivors of the previous state are deleted by generation mark, so a
+// steady-state restore into a same-population BIU does not allocate.
+func (b *BIU) LoadState(r *state.Reader) error {
+	if err := r.Begin(state.SecBIU); err != nil {
+		return err
+	}
+	mode := counter.SelectionMode(r.U8())
+	limit := r.U64()
+	if err := r.Err(); err != nil {
+		return err
+	}
+	if mode != b.mode || limit != uint64(b.limit) {
+		return state.Mismatchf("BIU %v/limit %d vs snapshot %v/limit %d", b.mode, b.limit, mode, limit)
+	}
+	evictions := r.U64()
+	n := r.U64()
+	if b.limit > 0 && n > uint64(b.limit) {
+		return state.Corruptf("BIU carries %d entries over limit %d", n, b.limit)
+	}
+	b.gen++
+	b.order = b.order[:0]
+	for i := uint64(0); i < n; i++ {
+		pc := r.U64()
+		mt := r.Bool()
+		raw := r.U8()
+		if err := r.Err(); err != nil {
+			return err
+		}
+		sel, ok := counter.SelectionFromState(raw, b.mode)
+		if !ok {
+			return state.Corruptf("BIU selection state %d out of range", raw)
+		}
+		e, exists := b.entries[pc]
+		if exists {
+			if e.gen == b.gen {
+				return state.Corruptf("BIU pc %#x duplicated in snapshot", pc)
+			}
+		} else {
+			e = &BIUEntry{} //lint:coldpath — only when the live population differs from the snapshot's
+			b.entries[pc] = e
+		}
+		e.MT = mt
+		e.Sel = sel
+		e.gen = b.gen
+		b.order = append(b.order, pc)
+	}
+	if err := r.End(); err != nil {
+		return err
+	}
+	for pc, e := range b.entries {
+		if e.gen != b.gen {
+			delete(b.entries, pc)
+		}
+	}
+	b.evictions = evictions
+	return nil
+}

@@ -90,8 +90,12 @@ func TestConcurrentLifecycle(t *testing.T) {
 		MaxConcurrent: 4,
 		MaxActive:     goroutines * 2, // admission never sheds in this test
 		MaxJobs:       goroutines * iterations * 2,
-		JobTTL:        80 * time.Millisecond,
-		JobTimeout:    time.Minute,
+		// Short enough that the janitor demonstrably drains the table at
+		// the end, long enough that a just-finished job cannot expire in
+		// the gap between the submit response and the results GET under
+		// -race scheduling jitter (80ms was occasionally too tight).
+		JobTTL:     500 * time.Millisecond,
+		JobTimeout: time.Minute,
 	})
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()

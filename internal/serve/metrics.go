@@ -186,7 +186,17 @@ type metrics struct {
 	queued    lineInt64  // cells waiting on a simulation slot
 	uploads   lineUint64 // trace-upload jobs accepted
 	badUpload lineUint64 // uploads rejected as truncated/corrupt
-	latency   *latencySketch
+
+	sessCreated lineUint64 // live sessions created
+	sessClosed  lineUint64 // live sessions closed by the client
+	sessEvicted lineUint64 // live sessions evicted (TTL or byte budget)
+	predictRecs lineUint64 // records streamed through live predict calls
+	stateSaves  lineUint64 // session state snapshot downloads
+	stateLoads  lineUint64 // session warm-start snapshot uploads
+	badState    lineUint64 // snapshot uploads rejected (corrupt/mismatch)
+
+	latency        *latencySketch // job wall-clock, submit to terminal
+	predictLatency *latencySketch // live predict requests, body to done
 }
 
 // Stats is the JSON shape of /statsz and the expvar surface.
@@ -207,6 +217,20 @@ type Stats struct {
 	LatencyP50MS   float64 `json:"latency_p50_ms"`
 	LatencyP99MS   float64 `json:"latency_p99_ms"`
 	LatencySamples int64   `json:"latency_samples"`
+	// Live prediction sessions: table occupancy, the summed byte charge
+	// (serialized predictor state + per-session overhead) against
+	// Config.SessionBytes, traffic counters and predict-call latency.
+	LiveSessions    int     `json:"live_sessions"`
+	SessionBytes    int64   `json:"session_bytes"`
+	SessionsCreated uint64  `json:"sessions_created"`
+	SessionsClosed  uint64  `json:"sessions_closed"`
+	SessionsEvicted uint64  `json:"sessions_evicted"`
+	PredictRecords  uint64  `json:"predict_records"`
+	StateSaves      uint64  `json:"state_saves"`
+	StateLoads      uint64  `json:"state_loads"`
+	BadState        uint64  `json:"bad_state"`
+	PredictP50MS    float64 `json:"predict_p50_ms"`
+	PredictP99MS    float64 `json:"predict_p99_ms"`
 	// Cache re-exports the trace cache's own traffic counters.
 	Cache tracecache.Stats `json:"tracecache"`
 }
@@ -218,6 +242,8 @@ func (s *Server) Stats() Stats {
 	samples := s.met.latency.p50.Count()
 	s.met.latency.mu.Unlock()
 
+	pp50, pp99 := s.met.predictLatency.quantiles()
+
 	s.mu.Lock()
 	table := len(s.jobs)
 	active := 0
@@ -228,6 +254,8 @@ func (s *Server) Stats() Stats {
 		}
 		j.mu.Unlock()
 	}
+	liveSessions := len(s.sessions)
+	sessBytes := s.sessBytes
 	draining := s.draining
 	s.mu.Unlock()
 
@@ -248,7 +276,20 @@ func (s *Server) Stats() Stats {
 		LatencyP50MS:   p50,
 		LatencyP99MS:   p99,
 		LatencySamples: samples,
-		Cache:          s.cache.Stats(),
+
+		LiveSessions:    liveSessions,
+		SessionBytes:    sessBytes,
+		SessionsCreated: s.met.sessCreated.Load(),
+		SessionsClosed:  s.met.sessClosed.Load(),
+		SessionsEvicted: s.met.sessEvicted.Load(),
+		PredictRecords:  s.met.predictRecs.Load(),
+		StateSaves:      s.met.stateSaves.Load(),
+		StateLoads:      s.met.stateLoads.Load(),
+		BadState:        s.met.badState.Load(),
+		PredictP50MS:    pp50,
+		PredictP99MS:    pp99,
+
+		Cache: s.cache.Stats(),
 	}
 }
 

@@ -39,6 +39,7 @@ import (
 	"repro/internal/predictor"
 	"repro/internal/sched"
 	"repro/internal/sim"
+	"repro/internal/state"
 	"repro/internal/trace"
 	"repro/internal/tracecache"
 	"repro/internal/workload"
@@ -80,6 +81,17 @@ type Config struct {
 	MaxEvents int
 	// MaxUploadBytes caps an uploaded trace body. Default 256 MiB.
 	MaxUploadBytes int64
+	// MaxSessions bounds live prediction sessions in the table. Default
+	// 4096.
+	MaxSessions int
+	// SessionBytes bounds the summed live predictor state across every
+	// session — each charged its serialized size (state.SizeOf) plus a
+	// fixed overhead — so session count cannot grow RSS past the budget.
+	// Default 256 MiB.
+	SessionBytes int64
+	// SessionTTL is how long an idle live session survives between
+	// requests before eviction. Default 10m.
+	SessionTTL time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -113,6 +125,15 @@ func (c Config) withDefaults() Config {
 	if c.MaxUploadBytes <= 0 {
 		c.MaxUploadBytes = 256 << 20
 	}
+	if c.MaxSessions <= 0 {
+		c.MaxSessions = 4096
+	}
+	if c.SessionBytes <= 0 {
+		c.SessionBytes = 256 << 20
+	}
+	if c.SessionTTL <= 0 {
+		c.SessionTTL = 10 * time.Minute
+	}
 	return c
 }
 
@@ -129,6 +150,16 @@ type Server struct {
 	jobs     map[string]*job
 	nextID   int
 	draining bool
+	// sessions is the live-session table; sessBytes is the summed byte
+	// charge of every session in it (state size + fixed overhead), held
+	// under Config.SessionBytes by admission and eviction.
+	sessions  map[string]*session
+	nextSID   int
+	sessBytes int64
+
+	// spool pools snapshot writers/readers for the session state endpoints,
+	// keeping the steady-state snapshot/restore cycle allocation-free.
+	spool *state.Pool
 
 	jobsWG      sync.WaitGroup // one per admitted job, suite or upload
 	janitorStop chan struct{}
@@ -149,15 +180,25 @@ func New(cfg Config) *Server {
 		pool:        sched.New(cfg.Workers),
 		sem:         make(chan struct{}, cfg.MaxConcurrent),
 		jobs:        make(map[string]*job),
+		sessions:    make(map[string]*session),
+		spool:       state.NewPool(),
 		janitorStop: make(chan struct{}),
 	}
 	s.met.latency = newLatencySketch()
+	s.met.predictLatency = newLatencySketch()
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	s.mux.HandleFunc("GET /v1/jobs", s.handleList)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/results", s.handleResults)
+	s.mux.HandleFunc("POST /v1/sessions", s.handleSessionCreate)
+	s.mux.HandleFunc("GET /v1/sessions", s.handleSessionList)
+	s.mux.HandleFunc("GET /v1/sessions/{id}", s.handleSessionStatus)
+	s.mux.HandleFunc("DELETE /v1/sessions/{id}", s.handleSessionClose)
+	s.mux.HandleFunc("POST /v1/sessions/{id}/predict", s.handleSessionPredict)
+	s.mux.HandleFunc("GET /v1/sessions/{id}/state", s.handleStateGet)
+	s.mux.HandleFunc("PUT /v1/sessions/{id}/state", s.handleStatePut)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
 	s.mux.HandleFunc("GET /statsz", s.handleStatsz)
@@ -170,10 +211,14 @@ func New(cfg Config) *Server {
 // an httptest server.
 func (s *Server) Handler() http.Handler { return s.mux }
 
-// janitor evicts expired sessions in the background so an idle server's
-// table drains to empty without waiting for the next submission.
+// janitor evicts expired jobs and idle live sessions in the background so an
+// idle server's tables drain to empty without waiting for the next request.
 func (s *Server) janitor() {
-	interval := s.cfg.JobTTL / 4
+	ttl := s.cfg.JobTTL
+	if s.cfg.SessionTTL < ttl {
+		ttl = s.cfg.SessionTTL
+	}
+	interval := ttl / 4
 	if interval < 50*time.Millisecond {
 		interval = 50 * time.Millisecond
 	}
@@ -185,7 +230,9 @@ func (s *Server) janitor() {
 			return
 		case <-t.C:
 			s.mu.Lock()
-			s.evictExpiredLocked(now(), false)
+			tick := now()
+			s.evictExpiredLocked(tick, false)
+			s.evictSessionsLocked(tick, false, 0)
 			s.mu.Unlock()
 		}
 	}

@@ -1,0 +1,102 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// BenchmarkLiveSessions measures the full live-session loop over real HTTP:
+// create a session, stream a pre-encoded trace through predict, follow the
+// NDJSON reply to its done event. One op is one whole session. Beyond the
+// standard triple it reports sessions/s, the mean serialized
+// bytes-per-trained-session, and the server's own p50/p99 predict-call
+// latency — the numbers BENCH_sessions.json snapshots via `make
+// bench-sessions`.
+func BenchmarkLiveSessions(b *testing.B) {
+	for _, family := range []string{"PPM-hyb", "BTB2b"} {
+		b.Run(family, func(b *testing.B) {
+			s := New(Config{MaxConcurrent: 1})
+			ts := httptest.NewServer(s.Handler())
+			defer ts.Close()
+			defer func() {
+				ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+				defer cancel()
+				_ = s.Shutdown(ctx)
+			}()
+
+			recs := benchRecords(b, "eqn", 500)
+			body := encodeIBT2(b, recs)
+			spec, _ := json.Marshal(SessionSpec{Predictor: family})
+
+			var stateBytes int64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				resp, err := http.Post(ts.URL+"/v1/sessions", "application/json", bytes.NewReader(spec))
+				if err != nil {
+					b.Fatal(err)
+				}
+				var st SessionStatus
+				if resp.StatusCode != http.StatusCreated {
+					b.Fatalf("create status = %d", resp.StatusCode)
+				}
+				if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+					b.Fatal(err)
+				}
+				resp.Body.Close()
+
+				done, err := streamPredict(ts.URL, st.ID, body)
+				if err != nil {
+					b.Fatal(err)
+				}
+				stateBytes += done.Session.StateBytes
+			}
+			b.StopTimer()
+
+			stats := s.Stats()
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "sessions/s")
+			b.ReportMetric(float64(stateBytes)/float64(b.N), "state-bytes/session")
+			b.ReportMetric(stats.PredictP50MS, "predict-p50-ms")
+			b.ReportMetric(stats.PredictP99MS, "predict-p99-ms")
+		})
+	}
+}
+
+// streamPredict uploads one predict body and follows the reply to its done
+// event, discarding the per-dispatch lines.
+func streamPredict(base, id string, body []byte) (PredictEvent, error) {
+	resp, err := http.Post(base+"/v1/sessions/"+id+"/predict",
+		"application/x-ibt2", bytes.NewReader(body))
+	if err != nil {
+		return PredictEvent{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return PredictEvent{}, fmt.Errorf("predict status = %d", resp.StatusCode)
+	}
+	var done PredictEvent
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		var ev PredictEvent
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			return PredictEvent{}, err
+		}
+		if ev.Type == "done" {
+			done = ev
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return PredictEvent{}, err
+	}
+	if done.Type != "done" || done.Session == nil {
+		return PredictEvent{}, fmt.Errorf("stream ended without a done event")
+	}
+	return done, nil
+}

@@ -1,0 +1,83 @@
+package state_test
+
+import (
+	"testing"
+
+	"repro/internal/check"
+	"repro/internal/core"
+	"repro/internal/race"
+	"repro/internal/sim"
+	"repro/internal/state"
+)
+
+// TestPooledSnapshotRestoreZeroAlloc pins the pooling contract the serving
+// layer relies on: once a pooled writer has grown its buffer and a warm
+// same-shape engine exists to restore into, a full save/restore cycle
+// through the pool — for every snapshot-capable family — must not allocate.
+func TestPooledSnapshotRestoreZeroAlloc(t *testing.T) {
+	if race.Enabled {
+		t.Skip("race instrumentation allocates; alloc counts asserted in the non-race run")
+	}
+	recs := check.RandomTrace(0xA110C, 3000)
+	pool := state.NewPool()
+	for name, build := range builders() {
+		t.Run(name, func(t *testing.T) {
+			src := sim.New(build())
+			src.ProcessAll(recs)
+			dst := sim.New(build())
+
+			// Warm-up: grow the pooled buffer and fault in dst's tables.
+			w := pool.Writer()
+			r := pool.Reader()
+			if err := state.Load(dst, r, state.Save(src, w)); err != nil {
+				t.Fatalf("warm-up restore: %v", err)
+			}
+			pool.PutReader(r)
+			pool.PutWriter(w)
+
+			avg := testing.AllocsPerRun(20, func() {
+				w := pool.Writer()
+				r := pool.Reader()
+				if err := state.Load(dst, r, state.Save(src, w)); err != nil {
+					t.Fatalf("restore: %v", err)
+				}
+				pool.PutReader(r)
+				pool.PutWriter(w)
+			})
+			if avg != 0 {
+				t.Errorf("%s: %.2f allocs per pooled save/restore cycle, want 0", name, avg)
+			}
+		})
+	}
+}
+
+// TestRestoredEnginePredictZeroAlloc pins the live-session acceptance
+// criterion: the steady-state predict path on an engine restored from a
+// snapshot allocates nothing, so a warm-started session serves predictions
+// with the same hot-path purity as one that trained in place.
+func TestRestoredEnginePredictZeroAlloc(t *testing.T) {
+	if race.Enabled {
+		t.Skip("race instrumentation allocates; alloc counts asserted in the non-race run")
+	}
+	recs := check.RandomTrace(0x5E5510, 3000)
+	cut := len(recs) / 2
+	src := sim.New(core.PaperHyb())
+	src.ProcessAll(recs[:cut])
+
+	restored := sim.New(core.PaperHyb())
+	if err := state.LoadBytes(restored, state.SaveBytes(src)); err != nil {
+		t.Fatalf("restore: %v", err)
+	}
+	tail := recs[cut:]
+	for _, r := range tail { // warm-up: first-touch fills may allocate
+		restored.ProcessPredicted(r)
+	}
+	avg := testing.AllocsPerRun(20, func() {
+		for _, r := range tail {
+			restored.ProcessPredicted(r)
+		}
+	})
+	if avg != 0 {
+		t.Errorf("restored engine: %.2f allocs per steady-state predict pass, want 0", avg)
+	}
+}

@@ -1,0 +1,160 @@
+package state
+
+import (
+	"encoding/binary"
+	"hash/crc32"
+)
+
+// Reader decodes snapshot sections. Errors are sticky: after the first
+// malformed value every subsequent read returns zero and Err reports the
+// failure, so Restore implementations can decode a whole section and check
+// once. A Reader never panics on corrupt input; every length and value is
+// bounds-checked against the section framing.
+type Reader struct {
+	data []byte
+	pos  int
+	// secEnd is the payload end of the open section; -1 when none is open.
+	secEnd int
+	err    error
+}
+
+// NewReader returns an empty reader; Load binds it to snapshot bytes.
+func NewReader() *Reader { return &Reader{secEnd: -1} }
+
+// reset binds the reader to a new input.
+func (r *Reader) reset(data []byte) {
+	r.data = data
+	r.pos = 0
+	r.secEnd = -1
+	r.err = nil
+}
+
+// Err returns the sticky decoding error, if any.
+func (r *Reader) Err() error { return r.err }
+
+// fail records the first error and poisons subsequent reads.
+func (r *Reader) fail(err error) error {
+	if r.err == nil {
+		r.err = err
+	}
+	return r.err
+}
+
+// Begin opens the next section and verifies it carries the expected id,
+// that its framing fits the input, and that the payload CRC matches.
+func (r *Reader) Begin(id uint64) error {
+	if r.err != nil {
+		return r.err
+	}
+	if r.secEnd >= 0 {
+		return r.fail(corruptf("section %d opened inside an unconsumed section", id))
+	}
+	got, n := binary.Uvarint(r.data[r.pos:])
+	if n <= 0 {
+		return r.fail(corruptf("truncated section id at offset %d", r.pos))
+	}
+	r.pos += n
+	if got != id {
+		// A cleanly framed but different section id means the snapshot was
+		// written by a different component layout — a configuration
+		// mismatch, not damaged bytes.
+		return r.fail(mismatchf("section id %d where %d expected at offset %d", got, id, r.pos-n))
+	}
+	if len(r.data)-r.pos < 4 {
+		return r.fail(corruptf("truncated section length at offset %d", r.pos))
+	}
+	length := int(binary.LittleEndian.Uint32(r.data[r.pos:]))
+	r.pos += 4
+	if len(r.data)-r.pos < length+4 {
+		return r.fail(corruptf("section %d: %d payload bytes framed, %d available", id, length, len(r.data)-r.pos))
+	}
+	payload := r.data[r.pos : r.pos+length]
+	want := binary.LittleEndian.Uint32(r.data[r.pos+length:])
+	if got := crc32.Checksum(payload, castagnoli); got != want {
+		return r.fail(corruptf("section %d: CRC %08x, want %08x", id, got, want))
+	}
+	r.secEnd = r.pos + length
+	return nil
+}
+
+// End closes the open section, requiring the payload to have been consumed
+// exactly — leftover bytes mean the decoder and encoder disagree about the
+// section's shape, which is corruption, not slack.
+func (r *Reader) End() error {
+	if r.err != nil {
+		return r.err
+	}
+	if r.secEnd < 0 {
+		return r.fail(corruptf("End without an open section at offset %d", r.pos))
+	}
+	if r.pos != r.secEnd {
+		return r.fail(corruptf("%d unconsumed payload bytes at section end", r.secEnd-r.pos))
+	}
+	r.pos += 4 // CRC, verified by Begin
+	r.secEnd = -1
+	return nil
+}
+
+// U64 decodes an unsigned varint from the open section.
+func (r *Reader) U64() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	if r.secEnd < 0 {
+		r.fail(corruptf("value read outside a section at offset %d", r.pos))
+		return 0
+	}
+	v, n := binary.Uvarint(r.data[r.pos:r.secEnd])
+	if n <= 0 {
+		r.fail(corruptf("truncated varint at offset %d", r.pos))
+		return 0
+	}
+	r.pos += n
+	return v
+}
+
+// I64 decodes a zigzag-coded signed varint from the open section.
+func (r *Reader) I64() int64 {
+	if r.err != nil {
+		return 0
+	}
+	if r.secEnd < 0 {
+		r.fail(corruptf("value read outside a section at offset %d", r.pos))
+		return 0
+	}
+	v, n := binary.Varint(r.data[r.pos:r.secEnd])
+	if n <= 0 {
+		r.fail(corruptf("truncated varint at offset %d", r.pos))
+		return 0
+	}
+	r.pos += n
+	return v
+}
+
+// U8 decodes a single byte from the open section.
+func (r *Reader) U8() uint8 {
+	if r.err != nil {
+		return 0
+	}
+	if r.secEnd < 0 || r.pos >= r.secEnd {
+		r.fail(corruptf("truncated byte at offset %d", r.pos))
+		return 0
+	}
+	v := r.data[r.pos]
+	r.pos++
+	return v
+}
+
+// Bool decodes a strict 0/1 byte; any other value is corruption, keeping
+// the decode→re-encode cycle byte-identical.
+func (r *Reader) Bool() bool {
+	v := r.U8()
+	if r.err != nil {
+		return false
+	}
+	if v > 1 {
+		r.fail(corruptf("boolean byte %d at offset %d", v, r.pos-1))
+		return false
+	}
+	return v == 1
+}
