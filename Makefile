@@ -4,7 +4,7 @@
 GO      ?= go
 FUZZTIME ?= 30s
 
-.PHONY: all build test race lint fmt vet ppmlint lint-concurrency lint-codegen escapes-check escapes-update bce-check bce-update inline-check inline-update gates bench bench-experiments bench-sessions bench-blocks parallel-smoke block-smoke serve-smoke session-smoke check-quick check fuzz-smoke ci
+.PHONY: all build test race lint fmt vet ppmlint lint-concurrency lint-codegen escapes-check escapes-update bce-check bce-update inline-check inline-update gates bench bench-experiments bench-sessions bench-blocks parallel-smoke block-smoke serve-smoke session-smoke check-quick check check-ittage fuzz-smoke ci
 
 all: build
 
@@ -147,6 +147,13 @@ check-quick:
 # past the CI bound. Divergences are minimized and written into the corpus.
 check:
 	$(GO) run ./cmd/ppmcheck -seeds 200 -events 5000
+
+# Focused hunt for the modern predictor family: ITTAGE's incrementally
+# folded geometric-history state and the u-bit cascade, lock-stepped against
+# their bit-by-bit reference oracles — differential, blocks-vs-records and
+# snapshot-restore hunts all included via the shared family registry.
+check-ittage:
+	$(GO) run ./cmd/ppmcheck -families ITTAGE,Cascade-u -seeds 40 -events 2500
 
 # Short fuzz slices keep the parsers honest without turning CI into a
 # fuzzing farm: the IBT2 trace reader, and the snapshot codec (round-trip

@@ -48,5 +48,6 @@ var experiments = []experiment{
 	{"cond", "extension", "Section 3 substrate: conditional direction predictors", printCond},
 	{"budget", "extension", "hardware budget accounting in entries and bits", printBudget},
 	{"multi", "extension", "Section 4 alternative: multi-target majority-vote Markov states", printMulti},
+	{"modern", "extension", "1998 vs modern: ITTAGE and Cascade-u at the paper's 2K-entry budget", printModern},
 	{"warmstart", "extension", "snapshot/restore warm-start continuation (see -savestate/-warmstart)", printWarmstart},
 }

@@ -121,6 +121,9 @@ func TestBlockEngineZeroAllocSteadyState(t *testing.T) {
 	}{
 		{"fig6", Figure6Predictors},
 		{"fig7", Figure7Predictors},
+		// The modern family (ITTAGE, Cascade-u): their MTIdx-lane block fast
+		// paths and the incremental folded-history updates must stay pure.
+		{"modern", ModernPredictors},
 		// The extension predictors with their own batch fast paths; the
 		// oracle is deliberately absent (see TestOracleExemptFromZeroAlloc).
 		{"extensions", func() []predictor.IndirectPredictor {

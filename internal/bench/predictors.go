@@ -4,6 +4,7 @@ import (
 	"repro/internal/btb"
 	"repro/internal/cascade"
 	"repro/internal/core"
+	"repro/internal/ittage"
 	"repro/internal/predictor"
 	"repro/internal/twolevel"
 )
@@ -55,11 +56,26 @@ func NewPredictor(name string) (predictor.IndirectPredictor, bool) {
 		return core.PaperPIB(), true
 	case "PPM-hyb-biased":
 		return core.PaperHybBiased(), true
+	case "ITTAGE":
+		return ittage.Paper(), true
+	case "Cascade-u":
+		return cascade.PaperU(), true
 	}
 	return nil, false
 }
 
-// PredictorNames lists every label NewPredictor accepts, in display order.
+// PredictorNames lists every label NewPredictor accepts, in display order:
+// the 1998 designs of Figures 6 and 7 first, then the modern family.
 func PredictorNames() []string {
-	return []string{"BTB", "BTB2b", "GAp", "TC-PIB", "Dpath", "Cascade", "PPM-hyb", "PPM-PIB", "PPM-hyb-biased"}
+	return []string{"BTB", "BTB2b", "GAp", "TC-PIB", "Dpath", "Cascade", "PPM-hyb", "PPM-PIB", "PPM-hyb-biased", "ITTAGE", "Cascade-u"}
+}
+
+// ModernPredictors returns fresh instances of the post-1998 family — the
+// predictors the "1998 vs modern" matched-budget comparison pits against
+// Figure 6, each still holding the paper's 2K-entry budget.
+func ModernPredictors() []predictor.IndirectPredictor {
+	return []predictor.IndirectPredictor{
+		ittage.Paper(),
+		cascade.PaperU(),
+	}
 }

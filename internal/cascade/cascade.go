@@ -263,6 +263,54 @@ func Paper() *Cascade {
 	})
 }
 
+// PaperU returns the u-bit-managed variant of the paper's Cascade: the
+// identical 128-entry leaky filter and tagged 4-way Dual-path main tables,
+// but with ITTAGE-style usefulness counters governing replacement — a way
+// is only evictable once its counter decays to zero, conflicting sets age
+// gradually instead of thrashing, and the counters halve every 2048
+// updates (the graceful reset). It isolates how much of ITTAGE's gain
+// comes from allocation discipline alone, with the 1998 history lengths
+// held fixed.
+func PaperU() *Cascade {
+	return New(Config{
+		Name:          "Cascade-u",
+		FilterEntries: 128,
+		Policy:        Leaky,
+		Main: twolevel.DualPathConfig{
+			Name:      "Cascade-u-main",
+			Selectors: 1024,
+			Short: twolevel.GApConfig{
+				Name:              "Cascade-u-short",
+				Entries:           1024,
+				PHTs:              1,
+				Assoc:             4,
+				Tagged:            true,
+				PathLength:        4,
+				BitsPerTarget:     6,
+				HistoryBits:       24,
+				HistoryStream:     history.MTIndirectBranches,
+				Indexing:          twolevel.ReverseInterleave,
+				Useful:            true,
+				UsefulResetPeriod: 2048,
+			},
+			Long: twolevel.GApConfig{
+				Name:              "Cascade-u-long",
+				Entries:           1024,
+				PHTs:              1,
+				Assoc:             4,
+				Tagged:            true,
+				PathLength:        6,
+				BitsPerTarget:     4,
+				HistoryBits:       24,
+				HistoryStream:     history.MTIndirectBranches,
+				Indexing:          twolevel.ReverseInterleave,
+				Useful:            true,
+				UsefulResetPeriod: 2048,
+			},
+		},
+	})
+}
+
 var (
 	_ predictor.IndirectPredictor = (*Cascade)(nil)
 	_ predictor.Sized             = (*Cascade)(nil)

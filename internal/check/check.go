@@ -107,6 +107,42 @@ func refPaperCascadeMain() twolevel.DualPathConfig {
 	}
 }
 
+// refPaperCascadeMainU restates the Cascade-u main-predictor configuration:
+// the Section 5 Cascade tables with u-bit replacement and the ITTAGE
+// graceful-reset period.
+func refPaperCascadeMainU() twolevel.DualPathConfig {
+	return twolevel.DualPathConfig{
+		Name:      "Cascade-u-main",
+		Selectors: 1024,
+		Short: twolevel.GApConfig{
+			Entries:           1024,
+			PHTs:              1,
+			Assoc:             4,
+			Tagged:            true,
+			PathLength:        4,
+			BitsPerTarget:     6,
+			HistoryBits:       24,
+			HistoryStream:     history.MTIndirectBranches,
+			Indexing:          twolevel.ReverseInterleave,
+			Useful:            true,
+			UsefulResetPeriod: 2048,
+		},
+		Long: twolevel.GApConfig{
+			Entries:           1024,
+			PHTs:              1,
+			Assoc:             4,
+			Tagged:            true,
+			PathLength:        6,
+			BitsPerTarget:     4,
+			HistoryBits:       24,
+			HistoryStream:     history.MTIndirectBranches,
+			Indexing:          twolevel.ReverseInterleave,
+			Useful:            true,
+			UsefulResetPeriod: 2048,
+		},
+	}
+}
+
 // NewReference builds the naive reference for a Figure 6/7 predictor label,
 // configured exactly as bench.NewPredictor configures the optimized
 // implementation. Returns false for unknown labels.
@@ -136,6 +172,10 @@ func NewReference(name string) (predictor.IndirectPredictor, bool) {
 		return NewRefPPM(core.DefaultConfig(core.PIBOnly)), true
 	case "PPM-hyb-biased":
 		return NewRefPPM(core.DefaultConfig(core.HybridBiased)), true
+	case "ITTAGE":
+		return NewRefITTAGE(), true
+	case "Cascade-u":
+		return NewRefCascadeNamed("Cascade-u", 128, false, refPaperCascadeMainU()), true
 	}
 	return nil, false
 }

@@ -198,18 +198,30 @@ func TestRefHistoryAgreesWithPHR(t *testing.T) {
 		{3, 8, 24},
 		{1, 24, 24},
 		{6, 4, 24},
-		{4, 70, 80}, // clamps: bitsPer >= 64 selects the whole target
+		{4, 70, 64},  // bitsPer >= 64 selects the whole target
+		{64, 2, 128}, // multi-word: the ITTAGE geometric-history geometry
+		{40, 3, 120}, // multi-word, non-power-of-two item width
+		{70, 2, 130}, // multi-word with a partial top word
 	}
 	recs := RandomRecords(77, 400)
 	for _, stream := range streams {
 		for _, g := range geoms {
-			phr := history.New(stream, g.depth, g.bitsPer, g.packedBits)
+			phr := history.NewWide(stream, g.depth, g.bitsPer, g.packedBits)
 			ref := newRefHistory(stream, g.depth, g.bitsPer, g.packedBits)
 			for i, r := range recs {
 				phr.Observe(r)
 				ref.observe(r)
 				if got, want := phr.Packed(), ref.packed(); got != want {
 					t.Fatalf("%v %+v: packed diverged at record %d: %#x vs ref %#x", stream, g, i, got, want)
+				}
+				for _, out := range []uint{1, 8, 10, 24, 64} {
+					in := g.packedBits
+					if got, want := phr.FoldPacked(in, out), ref.foldPacked(in, out); got != want {
+						t.Fatalf("%v %+v: FoldPacked(%d,%d) diverged at record %d: %#x vs ref %#x", stream, g, in, out, i, got, want)
+					}
+					if got, want := phr.FoldPacked(in/2, out), ref.foldPacked(in/2, out); in > 1 && got != want {
+						t.Fatalf("%v %+v: FoldPacked(%d,%d) diverged at record %d: %#x vs ref %#x", stream, g, in/2, out, i, got, want)
+					}
 				}
 				for n := 0; n <= g.depth+1; n++ {
 					got := phr.Recent(nil, n)

@@ -1,0 +1,236 @@
+package check
+
+import (
+	"repro/internal/history"
+	"repro/internal/predictor"
+	"repro/internal/trace"
+)
+
+// RefITTAGE is the naive reference for the ITTAGE predictor: map-based base
+// table and tagged banks, and — crucially — every index and tag hash
+// recomputed from scratch on each lookup by replaying the full path history
+// through the bit-array shift register and folding it bit by bit
+// (refHistory.foldPacked). The optimized implementation maintains three
+// incrementally rotated folded registers per bank; any drift between that
+// incremental state and the written-out fold definition surfaces here as a
+// lock-step divergence.
+//
+// The structural parameters are restated as literals (not imported from the
+// ittage package) so a silent change to either copy of the paper-matrix
+// configuration shows up as a divergence too. The geometric window lengths
+// 4/10/25/64 are likewise written out rather than recomputed from the
+// alpha series.
+type RefITTAGE struct {
+	baseEntries uint64
+	bankEntries uint64
+	tagBits     uint
+	lens        []int
+	bitsPerItem uint
+	resetPeriod uint64
+
+	base  map[uint64]uint64            // base index -> target
+	banks []map[uint64]*refITTAGEEntry // bank -> set index -> entry
+	hist  *refHistory
+
+	uaona uint8
+	tick  uint64
+
+	pending struct {
+		provider int
+		alt      int
+		baseIdx  uint64
+		pred     uint64
+		predOK   bool
+		provPred uint64
+		provNew  bool
+		altPred  uint64
+		altOK    bool
+		idx      []uint64
+		tag      []uint64
+	}
+}
+
+type refITTAGEEntry struct {
+	tag    uint64
+	target uint64
+	ctr    uint8
+	u      uint8
+}
+
+// NewRefITTAGE builds the reference for ittage.Paper(): a 1024-entry base
+// table, four 256-entry tagged banks with 10-bit tags, window lengths
+// 4/10/25/64 recording 2 bits per multi-target indirect target, and a
+// 2048-update graceful-reset period.
+func NewRefITTAGE() *RefITTAGE {
+	lens := []int{4, 10, 25, 64}
+	r := &RefITTAGE{
+		baseEntries: 1024,
+		bankEntries: 256,
+		tagBits:     10,
+		lens:        lens,
+		bitsPerItem: 2,
+		resetPeriod: 2048,
+		base:        map[uint64]uint64{},
+		banks:       make([]map[uint64]*refITTAGEEntry, len(lens)),
+		hist:        newRefHistory(history.MTIndirectBranches, 64, 2, 128),
+		uaona:       8,
+	}
+	for i := range r.banks {
+		r.banks[i] = map[uint64]*refITTAGEEntry{}
+	}
+	r.pending.idx = make([]uint64, len(lens))
+	r.pending.tag = make([]uint64, len(lens))
+	return r
+}
+
+// Name implements predictor.IndirectPredictor.
+func (p *RefITTAGE) Name() string { return "ITTAGE" }
+
+// bankIndex recomputes bank b's set index from the definition: splitmix the
+// word-aligned pc, XOR the bit-by-bit fold of the bank's full window, keep
+// the index bits.
+func (p *RefITTAGE) bankIndex(b int, pc uint64) uint64 {
+	idxBits := log2(int(p.bankEntries))
+	fold := p.hist.foldPacked(uint(p.lens[b])*p.bitsPerItem, idxBits)
+	return refSelect(refMix64(pc>>2)^fold, idxBits)
+}
+
+// bankTag recomputes bank b's partial tag: high mixed pc bits XOR the folded
+// window XOR the narrower fold shifted up by one.
+func (p *RefITTAGE) bankTag(b int, pc uint64) uint64 {
+	in := uint(p.lens[b]) * p.bitsPerItem
+	f1 := p.hist.foldPacked(in, p.tagBits)
+	f2 := p.hist.foldPacked(in, p.tagBits-1)
+	return refSelect((refMix64(pc>>2)>>32)^f1^(f2<<1), p.tagBits)
+}
+
+// Predict implements predictor.IndirectPredictor, restating the optimized
+// lookup: longest tag match provides, next match (or the base table) is the
+// alternate, and a newly allocated provider defers to the alternate while
+// the use-alt counter is at or above its threshold.
+//
+//ppm:coldpath reference model: unbounded bookkeeping is intentional, not hardware
+func (p *RefITTAGE) Predict(pc uint64) (uint64, bool) {
+	pd := &p.pending
+	pd.provider, pd.alt = -1, -1
+	pd.altPred, pd.altOK = 0, false
+	for i := len(p.banks) - 1; i >= 0; i-- {
+		idx := p.bankIndex(i, pc)
+		tag := p.bankTag(i, pc)
+		pd.idx[i] = idx
+		pd.tag[i] = tag
+		if pd.alt >= 0 {
+			continue
+		}
+		e := p.banks[i][idx]
+		if e == nil || e.tag != tag {
+			continue
+		}
+		if pd.provider < 0 {
+			pd.provider = i
+			pd.provPred = e.target
+			pd.provNew = e.ctr == 0 && e.u == 0
+		} else {
+			pd.alt = i
+			pd.altPred = e.target
+			pd.altOK = true
+		}
+	}
+	pd.baseIdx = (pc >> 2) % p.baseEntries
+	if pd.alt < 0 {
+		tgt, ok := p.base[pd.baseIdx]
+		pd.altPred, pd.altOK = tgt, ok
+	}
+	if pd.provider >= 0 {
+		if pd.provNew && pd.altOK && p.uaona >= 8 {
+			pd.pred, pd.predOK = pd.altPred, true
+		} else {
+			pd.pred, pd.predOK = pd.provPred, true
+		}
+	} else {
+		pd.pred, pd.predOK = pd.altPred, pd.altOK
+	}
+	return pd.pred, pd.predOK
+}
+
+// Update implements predictor.IndirectPredictor, mirroring the optimized
+// train/allocate discipline step for step.
+//
+//ppm:coldpath reference model: unbounded bookkeeping is intentional, not hardware
+func (p *RefITTAGE) Update(_, target uint64) {
+	pd := &p.pending
+	p.tick++
+	if p.resetPeriod > 0 && p.tick%p.resetPeriod == 0 {
+		p.gracefulReset()
+	}
+	correct := pd.predOK && pd.pred == target
+
+	if pd.provider >= 0 {
+		e := p.banks[pd.provider][pd.idx[pd.provider]]
+		altDiffers := !pd.altOK || pd.altPred != pd.provPred
+		if pd.provNew && altDiffers {
+			if pd.provPred == target && p.uaona > 0 {
+				p.uaona--
+			} else if pd.altOK && pd.altPred == target && p.uaona < 15 {
+				p.uaona++
+			}
+		}
+		if altDiffers {
+			if pd.provPred == target {
+				if e.u < 3 {
+					e.u++
+				}
+			} else if e.u > 0 {
+				e.u--
+			}
+		}
+		if e.target == target {
+			if e.ctr < 3 {
+				e.ctr++
+			}
+		} else if e.ctr > 0 {
+			e.ctr--
+		} else {
+			e.target = target
+		}
+	}
+
+	if !correct {
+		p.allocate(pd.provider+1, target)
+	}
+	p.base[pd.baseIdx] = target
+}
+
+// allocate claims the first bank at or past from whose indexed slot is
+// absent or has usefulness zero; if every candidate is defended, their
+// usefulness decays by one instead.
+func (p *RefITTAGE) allocate(from int, target uint64) {
+	for i := from; i < len(p.banks); i++ {
+		e := p.banks[i][p.pending.idx[i]]
+		if e == nil || e.u == 0 {
+			p.banks[i][p.pending.idx[i]] = &refITTAGEEntry{tag: p.pending.tag[i], target: target}
+			return
+		}
+	}
+	for i := from; i < len(p.banks); i++ {
+		if e := p.banks[i][p.pending.idx[i]]; e != nil && e.u > 0 {
+			e.u--
+		}
+	}
+}
+
+// gracefulReset halves every usefulness counter.
+func (p *RefITTAGE) gracefulReset() {
+	for _, bank := range p.banks {
+		for _, e := range bank { //lint:sorted per-entry halving; iteration order cannot matter
+			e.u >>= 1
+		}
+	}
+}
+
+// Observe implements predictor.IndirectPredictor.
+//
+//ppm:coldpath reference model: unbounded bookkeeping is intentional, not hardware
+func (p *RefITTAGE) Observe(r trace.Record) { p.hist.observe(r) }
+
+var _ predictor.IndirectPredictor = (*RefITTAGE)(nil)

@@ -193,19 +193,25 @@ type refPHTEntry struct {
 	target uint64
 	hyst   refHyst
 	lru    uint64
+	u      uint8 // usefulness, 0..3; maintained only in useful mode
 }
 
 // refPHT is the reference pattern history table: per-set tag maps with an
 // explicit global clock. A set holds at most assoc tags; allocation beyond
 // that evicts the tag with the smallest LRU stamp (stamps are drawn from
-// the strictly increasing clock, so the minimum is unique).
+// the strictly increasing clock, so the minimum is unique). In useful mode
+// eviction is additionally gated on the victim's usefulness counter having
+// decayed to zero, a fully defended set decays instead of allocating, and
+// the counters halve every resetPeriod updates.
 type refPHT struct {
-	nsets  uint64
-	assoc  int
-	tagged bool
-	clock  uint64
-	sets   map[uint64]map[uint64]*refPHTEntry // set index -> tag -> entry
-	direct map[uint64]*refPHTEntry            // tagless: set index -> entry
+	nsets       uint64
+	assoc       int
+	tagged      bool
+	clock       uint64
+	useful      bool
+	resetPeriod uint64
+	sets        map[uint64]map[uint64]*refPHTEntry // set index -> tag -> entry
+	direct      map[uint64]*refPHTEntry            // tagless: set index -> entry
 }
 
 func newRefPHT(entries, assoc int, tagged bool) *refPHT {
@@ -216,6 +222,13 @@ func newRefPHT(entries, assoc int, tagged bool) *refPHT {
 		sets:   map[uint64]map[uint64]*refPHTEntry{},
 		direct: map[uint64]*refPHTEntry{},
 	}
+}
+
+func newRefPHTUseful(entries, assoc int, resetPeriod uint64) *refPHT {
+	t := newRefPHT(entries, assoc, true)
+	t.useful = true
+	t.resetPeriod = resetPeriod
+	return t
 }
 
 func (t *refPHT) indexBits() uint { return log2(int(t.nsets)) }
@@ -256,6 +269,10 @@ func refTrain(e *refPHTEntry, target uint64) {
 func (t *refPHT) update(index, tag, target uint64, allocate bool) {
 	t.clock++
 	set := index % t.nsets
+	if t.useful {
+		t.updateUseful(set, tag, target, allocate)
+		return
+	}
 	if !t.tagged {
 		e := t.direct[set]
 		if e == nil {
@@ -297,6 +314,71 @@ func (t *refPHT) update(index, tag, target uint64, allocate bool) {
 	ways[tag] = &refPHTEntry{target: target, hyst: newRefHyst(), lru: t.clock}
 }
 
+// updateUseful restates the u-bit train/replace discipline: a tag hit
+// adjusts usefulness by whether the resident target was right before
+// training it, a miss may only claim an absent way or the least recent way
+// whose usefulness is zero, and a fully defended set decays by one instead
+// of allocating. The clock (already advanced by update) doubles as the
+// graceful-reset timer.
+func (t *refPHT) updateUseful(set, tag, target uint64, allocate bool) {
+	if t.resetPeriod > 0 && t.clock%t.resetPeriod == 0 {
+		t.halveUseful()
+	}
+	ways := t.sets[set]
+	if e := ways[tag]; e != nil {
+		e.lru = t.clock
+		if e.target == target {
+			if e.u < 3 {
+				e.u++
+			}
+		} else if e.u > 0 {
+			e.u--
+		}
+		refTrain(e, target)
+		return
+	}
+	if !allocate {
+		return
+	}
+	if ways == nil {
+		ways = map[uint64]*refPHTEntry{}
+		t.sets[set] = ways
+	}
+	if len(ways) >= t.assoc {
+		// Eviction may only claim the least recent way whose usefulness has
+		// decayed to zero; LRU stamps come from the strictly increasing
+		// clock, so the minimum is unique and the choice deterministic.
+		var victimTag uint64
+		var victimLRU uint64
+		found := false
+		for wt, we := range ways { //lint:sorted unique-minimum selection among u==0 ways; iteration order cannot matter
+			if we.u == 0 && (!found || we.lru < victimLRU) {
+				victimTag, victimLRU, found = wt, we.lru, true
+			}
+		}
+		if !found {
+			// Every way is defended: the whole set decays instead.
+			for _, we := range ways { //lint:sorted per-entry decay; iteration order cannot matter
+				if we.u > 0 {
+					we.u--
+				}
+			}
+			return
+		}
+		delete(ways, victimTag)
+	}
+	ways[tag] = &refPHTEntry{target: target, hyst: newRefHyst(), lru: t.clock}
+}
+
+// halveUseful ages every usefulness counter (the graceful reset).
+func (t *refPHT) halveUseful() {
+	for _, ways := range t.sets { //lint:sorted per-entry halving; iteration order cannot matter
+		for _, we := range ways { //lint:sorted per-entry halving; iteration order cannot matter
+			we.u >>= 1
+		}
+	}
+}
+
 // --- GAp -------------------------------------------------------------------
 
 // RefGAp is the reference two-level GAp component.
@@ -327,7 +409,11 @@ func NewRefGAp(cfg twolevel.GApConfig) *RefGAp {
 	perTable := cfg.Entries / cfg.PHTs
 	tables := make([]*refPHT, cfg.PHTs)
 	for i := range tables {
-		tables[i] = newRefPHT(perTable, assoc, cfg.Tagged)
+		if cfg.Useful {
+			tables[i] = newRefPHTUseful(perTable, assoc, cfg.UsefulResetPeriod)
+		} else {
+			tables[i] = newRefPHT(perTable, assoc, cfg.Tagged)
+		}
 	}
 	return &RefGAp{
 		cfg:    cfg,
@@ -497,6 +583,7 @@ type refFilterEntry struct {
 // RefCascade is the reference Cascade predictor: a map-based leaky filter
 // in front of a reference Dual-path main predictor.
 type RefCascade struct {
+	name       string
 	filterSize uint64
 	strict     bool
 	filter     map[uint64]*refFilterEntry
@@ -514,6 +601,7 @@ type RefCascade struct {
 // size, policy and main configuration.
 func NewRefCascade(filterEntries int, strict bool, main twolevel.DualPathConfig) *RefCascade {
 	return &RefCascade{
+		name:       "Cascade",
 		filterSize: uint64(filterEntries),
 		strict:     strict,
 		filter:     map[uint64]*refFilterEntry{},
@@ -521,8 +609,16 @@ func NewRefCascade(filterEntries int, strict bool, main twolevel.DualPathConfig)
 	}
 }
 
+// NewRefCascadeNamed is NewRefCascade with an explicit label, for the
+// variant configurations (the u-bit Cascade-u family).
+func NewRefCascadeNamed(name string, filterEntries int, strict bool, main twolevel.DualPathConfig) *RefCascade {
+	c := NewRefCascade(filterEntries, strict, main)
+	c.name = name
+	return c
+}
+
 // Name implements predictor.IndirectPredictor.
-func (c *RefCascade) Name() string { return "Cascade" }
+func (c *RefCascade) Name() string { return c.name }
 
 // Predict implements predictor.IndirectPredictor: main predictor first on a
 // tag hit, filter second.

@@ -8,7 +8,10 @@
 //     used by GAp, Target Cache and Dual-path gshare/interleaved indexing.
 package history
 
-import "repro/internal/trace"
+import (
+	"repro/internal/hashing"
+	"repro/internal/trace"
+)
 
 // Stream selects which branch records feed a PHR, mirroring the correlation
 // groups studied by Chang et al. and adopted in Section 4 of the paper.
@@ -60,7 +63,7 @@ func (s Stream) Accepts(r trace.Record) bool {
 }
 
 // PHR is a path history register holding the most recent `depth` targets of
-// its stream. The zero value is not usable; construct with New.
+// its stream. The zero value is not usable; construct with New or NewWide.
 type PHR struct {
 	stream Stream
 	ring   []uint64
@@ -69,25 +72,46 @@ type PHR struct {
 
 	// packed is the conventional shift register maintained incrementally:
 	// bitsPer low-order bits of each target, most recent in the low bits.
-	packed     uint64
+	// Registers up to 64 bits occupy one word; wider registers (geometric
+	// ITTAGE histories) span little-endian words, word 0 least significant.
+	packed     []uint64
+	topMask    uint64 // mask of the valid bits in the top packed word
 	packedBits uint
 	bitsPer    uint
 }
 
 // New creates a PHR of the given depth over the given stream. bitsPer
 // configures the packed shift-register view (bits recorded per target);
-// packedBits bounds the register width. Panics if depth < 1.
+// packedBits bounds the register width. Panics if depth < 1 or if
+// packedBits > 64 — registers wider than one word must be constructed with
+// NewWide, which is a deliberate call-site declaration that the extra width
+// is wanted (the former silent clamp to 64 truncated geometric histories).
 func New(stream Stream, depth int, bitsPer, packedBits uint) *PHR {
+	if packedBits > 64 {
+		panic("history: packedBits > 64 needs the multi-word register; construct with NewWide")
+	}
+	return NewWide(stream, depth, bitsPer, packedBits)
+}
+
+// NewWide creates a PHR whose packed shift-register view may be wider than
+// 64 bits, kept as a little-endian multi-word register; Packed then exposes
+// the 64 low-order bits and FoldPacked folds any prefix of the full width.
+// Panics if depth < 1.
+func NewWide(stream Stream, depth int, bitsPer, packedBits uint) *PHR {
 	if depth < 1 {
 		panic("history: depth must be >= 1")
 	}
-	if packedBits > 64 {
-		packedBits = 64
+	words := int((packedBits + 63) / 64)
+	top := ^uint64(0)
+	if packedBits%64 != 0 {
+		top = (uint64(1) << (packedBits % 64)) - 1
 	}
 	return &PHR{
 		stream:     stream,
 		ring:       make([]uint64, depth),
 		head:       depth - 1,
+		packed:     make([]uint64, words),
+		topMask:    top,
 		bitsPer:    bitsPer,
 		packedBits: packedBits,
 	}
@@ -123,19 +147,36 @@ func (p *PHR) Push(target uint64) {
 	if p.filled < len(p.ring) {
 		p.filled++
 	}
-	if p.packedBits > 0 {
-		mask := (uint64(1) << p.packedBits) - 1
-		if p.packedBits == 64 {
-			mask = ^uint64(0)
-		}
-		var sel uint64
-		if p.bitsPer >= 64 {
-			sel = target >> 2
-		} else {
-			sel = (target >> 2) & ((uint64(1) << p.bitsPer) - 1)
-		}
-		p.packed = ((p.packed << p.bitsPer) | sel) & mask
+	if p.packedBits == 0 {
+		return
 	}
+	var sel uint64
+	if p.bitsPer >= 64 {
+		sel = target >> 2
+	} else {
+		sel = (target >> 2) & ((uint64(1) << p.bitsPer) - 1)
+	}
+	w := p.packed
+	if len(w) == 1 {
+		w[0] = ((w[0] << p.bitsPer) | sel) & p.topMask
+		return
+	}
+	// Multi-word left shift by bitsPer, high word first so carries read the
+	// pre-shift neighbours; bitsPer >= 64 degenerates to a whole-word shift
+	// exactly as a single-word register degenerates to sel alone.
+	if p.bitsPer >= 64 {
+		for i := len(w) - 1; i > 0; i-- {
+			w[i] = w[i-1] //lint:idxsafe i walks (0, len) so i and i-1 are in range
+		}
+		w[0] = sel
+	} else {
+		carry := 64 - p.bitsPer
+		for i := len(w) - 1; i > 0; i-- {
+			w[i] = (w[i] << p.bitsPer) | (w[i-1] >> carry) //lint:idxsafe i walks (0, len) so i and i-1 are in range
+		}
+		w[0] = (w[0] << p.bitsPer) | sel
+	}
+	w[len(w)-1] &= p.topMask
 }
 
 // Len reports how many targets have been recorded, up to the depth.
@@ -167,12 +208,55 @@ func (p *PHR) Recent(dst []uint64, n int) []uint64 {
 	return dst
 }
 
-// Packed returns the shift-register view: bitsPer low bits of each recorded
-// target, most recent target in the least significant bits, truncated to
-// packedBits.
+// Peek returns the i-th most recent target in the ring (0 = most recent),
+// reading slots that have not been written yet as zero — the zero-filled
+// warm-up a hardware register that powers up cleared would exhibit, and the
+// contract the incremental folded registers of geometric-history predictors
+// rely on for their outgoing items. Panics if i is not in [0, Depth()).
+//
+//ppm:hotpath per-record history-register read; runs once per bank per push
+func (p *PHR) Peek(i int) uint64 {
+	if i < 0 || i >= len(p.ring) {
+		panic("history: Peek index out of range")
+	}
+	idx := p.head - i
+	if idx < 0 {
+		idx += len(p.ring)
+	}
+	return p.ring[idx] //lint:idxsafe idx = head-i wrapped once into [0, len)
+}
+
+// Packed returns the 64 low-order bits of the shift-register view: bitsPer
+// low bits of each recorded target, most recent target in the least
+// significant bits, truncated to packedBits. For registers constructed with
+// NewWide past 64 bits this is the most recent word; FoldPacked reaches the
+// full width.
 //
 //ppm:hotpath per-record history-register shift
-func (p *PHR) Packed() uint64 { return p.packed }
+func (p *PHR) Packed() uint64 {
+	if len(p.packed) == 0 {
+		return 0
+	}
+	return p.packed[0]
+}
+
+// PackedBits returns the configured width of the packed register.
+func (p *PHR) PackedBits() uint { return p.packedBits }
+
+// FoldPacked XOR-folds the `in` low-order bits of the packed register —
+// the most recent in/bitsPer targets — into out bits. It is the
+// from-scratch specification of the incrementally maintained
+// hashing.Folded registers geometric-history predictors keep per bank;
+// snapshot restore reseeds those registers from it. in is clamped to the
+// register width; out must be in [1, 64].
+//
+//ppm:hotpath per-lookup index-hash helper; runs once per table probe
+func (p *PHR) FoldPacked(in, out uint) uint64 {
+	if in > p.packedBits {
+		in = p.packedBits
+	}
+	return hashing.FoldWords(p.packed, in, out)
+}
 
 // State is a snapshot of a PHR's contents, used by the workload generator
 // to model programs that return to previously visited control-flow
@@ -181,7 +265,7 @@ type State struct {
 	ring   []uint64
 	head   int
 	filled int
-	packed uint64
+	packed []uint64
 }
 
 // Snapshot captures the register's current contents.
@@ -190,20 +274,20 @@ func (p *PHR) Snapshot() State {
 		ring:   append([]uint64(nil), p.ring...),
 		head:   p.head,
 		filled: p.filled,
-		packed: p.packed,
+		packed: append([]uint64(nil), p.packed...),
 	}
 }
 
 // Restore rewinds the register to a snapshot taken from the same PHR
-// (matching depth); mismatched snapshots panic.
+// (matching depth and width); mismatched snapshots panic.
 func (p *PHR) Restore(s State) {
-	if len(s.ring) != len(p.ring) {
+	if len(s.ring) != len(p.ring) || len(s.packed) != len(p.packed) {
 		panic("history: snapshot depth mismatch")
 	}
 	copy(p.ring, s.ring)
 	p.head = s.head
 	p.filled = s.filled
-	p.packed = s.packed
+	copy(p.packed, s.packed)
 }
 
 // Reset clears the register to its power-up state.
@@ -213,5 +297,7 @@ func (p *PHR) Reset() {
 	}
 	p.head = len(p.ring) - 1
 	p.filled = 0
-	p.packed = 0
+	for i := range p.packed {
+		p.packed[i] = 0
+	}
 }

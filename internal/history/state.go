@@ -14,7 +14,16 @@ func (p *PHR) SaveState(w *state.Writer) {
 	w.U64(uint64(p.packedBits))
 	w.U64(uint64(p.head))
 	w.U64(uint64(p.filled))
-	w.U64(p.packed)
+	// One word per 64 bits of packed register, low word first. Registers of
+	// 64 bits or fewer serialize exactly one word — the original encoding —
+	// and a zero-width register keeps its single placeholder word so the
+	// byte layout of every pre-multi-word snapshot is unchanged.
+	if len(p.packed) == 0 {
+		w.U64(0)
+	}
+	for _, t := range p.packed {
+		w.U64(t)
+	}
 	for _, t := range p.ring {
 		w.U64(t)
 	}
@@ -40,12 +49,27 @@ func (p *PHR) LoadState(r *state.Reader) error {
 	}
 	head := r.U64()
 	filled := r.U64()
-	packed := r.U64()
+	var packed0 uint64
+	if len(p.packed) == 0 {
+		packed0 = r.U64() // zero-width placeholder word
+	}
+	// Like the ring below, the packed words land in place before the final
+	// error check: a failed restore leaves the register unspecified, which
+	// every caller already handles by discarding the predictor.
+	for i := range p.packed {
+		p.packed[i] = r.U64()
+	}
 	if err := r.Err(); err != nil {
 		return err
 	}
 	if head >= depth || filled > depth {
 		return state.Corruptf("PHR head %d / filled %d out of range for depth %d", head, filled, depth)
+	}
+	if len(p.packed) == 0 && packed0 != 0 {
+		return state.Corruptf("PHR zero-width packed register holds %#x", packed0)
+	}
+	if n := len(p.packed); n > 0 && p.packed[n-1]&^p.topMask != 0 {
+		return state.Corruptf("PHR packed top word %#x exceeds %d-bit register", p.packed[n-1], p.packedBits)
 	}
 	for i := range p.ring {
 		p.ring[i] = r.U64()
@@ -55,6 +79,5 @@ func (p *PHR) LoadState(r *state.Reader) error {
 	}
 	p.head = int(head)
 	p.filled = int(filled)
-	p.packed = packed
 	return nil
 }

@@ -1,0 +1,59 @@
+package serve
+
+import (
+	"net/http"
+	"testing"
+	"time"
+)
+
+// TestRetryAfterSeconds pins the header arithmetic at its edges: the value
+// rounds up to whole seconds and never reaches zero, because a
+// "Retry-After: 0" would invite an immediate retry instead of backing the
+// client off.
+func TestRetryAfterSeconds(t *testing.T) {
+	cases := []struct {
+		d    time.Duration
+		want int
+	}{
+		{0, 1},
+		{-time.Second, 1},
+		{time.Nanosecond, 1},
+		{50 * time.Millisecond, 1},
+		{999 * time.Millisecond, 1},
+		{time.Second, 1},
+		{time.Second + time.Nanosecond, 2},
+		{1500 * time.Millisecond, 2},
+		{2 * time.Second, 2},
+		{90 * time.Second, 90},
+	}
+	for _, c := range cases {
+		if got := retryAfterSeconds(c.d); got != c.want {
+			t.Errorf("retryAfterSeconds(%v) = %d, want %d", c.d, got, c.want)
+		}
+	}
+}
+
+// TestShedSubSecondRetryAfter drives a saturated server configured with a
+// sub-second backoff through a real 429 and asserts the advertised header
+// is the 1-second floor, not a truncated zero.
+func TestShedSubSecondRetryAfter(t *testing.T) {
+	_, ts, release, entered := gatedServer(t, Config{
+		MaxConcurrent: 1,
+		MaxActive:     1,
+		RetryAfter:    50 * time.Millisecond,
+	})
+	defer close(release)
+
+	if _, resp := submitSpec(t, ts.URL, JobSpec{Workloads: []string{"eqn"}, Events: 300}); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("first submit = %d", resp.StatusCode)
+	}
+	<-entered // the cell holds the only slot now
+
+	_, resp := submitSpec(t, ts.URL, JobSpec{Workloads: []string{"eqn"}, Events: 300})
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("saturated submit = %d, want 429", resp.StatusCode)
+	}
+	if got := resp.Header.Get("Retry-After"); got != "1" {
+		t.Errorf("sub-second backoff advertised Retry-After %q, want \"1\"", got)
+	}
+}

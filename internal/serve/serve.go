@@ -514,9 +514,25 @@ func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
 func (s *Server) shed(w http.ResponseWriter, code int, msg string) {
 	if code == http.StatusTooManyRequests {
 		s.met.rejected.Add(1)
-		w.Header().Set("Retry-After", strconv.Itoa(int((s.cfg.RetryAfter+time.Second-1)/time.Second)))
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(s.cfg.RetryAfter)))
 	}
 	httpError(w, code, msg)
+}
+
+// retryAfterSeconds converts the configured backoff into the whole seconds
+// the Retry-After header carries, rounding up. The floor is 1: the header's
+// grammar has no sub-second resolution, and advertising "Retry-After: 0"
+// would invite an immediate retry — the opposite of backpressure — so a
+// sub-second or unset duration still asks for one second.
+func retryAfterSeconds(d time.Duration) int {
+	if d <= 0 {
+		return 1
+	}
+	secs := int((d + time.Second - 1) / time.Second)
+	if secs < 1 {
+		return 1
+	}
+	return secs
 }
 
 // --- job execution ---------------------------------------------------------

@@ -107,6 +107,7 @@ const (
 	SecMultiMarkov uint64 = 14 // core.MultiMarkovTable
 	SecCBT         uint64 = 15 // cbt.CBT
 	SecEngine      uint64 = 16 // sim.Engine accounting + counters
+	SecITTAGE      uint64 = 17 // ittage.ITTAGE base + tagged banks
 )
 
 // Save serializes s into w (resetting it first) and returns the snapshot

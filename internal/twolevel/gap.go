@@ -47,6 +47,11 @@ type GApConfig struct {
 	// PathLength*BitsPerTarget (the Dual-path predictor uses a 24-bit
 	// register regardless of path length). 0 means PathLength*BitsPerTarget.
 	HistoryBits uint
+	// Useful turns on ITTAGE-style u-bit replacement in the (necessarily
+	// tagged) PHTs: per-entry usefulness counters gate eviction and halve
+	// every UsefulResetPeriod updates.
+	Useful            bool
+	UsefulResetPeriod uint64
 }
 
 func (c GApConfig) historyBits() uint {
@@ -71,6 +76,12 @@ func (c GApConfig) validate() error {
 	}
 	if c.BitsPerTarget == 0 || c.BitsPerTarget > 32 {
 		return fmt.Errorf("twolevel: bits per target must be in [1,32], got %d", c.BitsPerTarget)
+	}
+	if c.Useful && !c.Tagged {
+		return fmt.Errorf("twolevel: useful-mode replacement needs tagged tables")
+	}
+	if c.Useful && c.UsefulResetPeriod == 0 {
+		return fmt.Errorf("twolevel: useful mode needs a positive reset period")
 	}
 	return nil
 }
@@ -98,7 +109,11 @@ func NewGAp(cfg GApConfig) *GAp {
 	perTable := cfg.Entries / cfg.PHTs
 	tables := make([]*PHT, cfg.PHTs)
 	for i := range tables {
-		tables[i] = NewPHT(perTable, maxInt(1, cfg.Assoc), cfg.Tagged)
+		if cfg.Useful {
+			tables[i] = NewPHTUseful(perTable, maxInt(1, cfg.Assoc), cfg.UsefulResetPeriod)
+		} else {
+			tables[i] = NewPHT(perTable, maxInt(1, cfg.Assoc), cfg.Tagged)
+		}
 	}
 	hb := cfg.historyBits()
 	return &GAp{
@@ -258,6 +273,9 @@ func (g *GAp) Bits() int {
 	per := 30 + 1 + 2 // target, valid, replacement counter
 	if g.cfg.Tagged {
 		per += 24 + 2 // tag and LRU stamp (2 bits suffice for 4 ways)
+	}
+	if g.cfg.Useful {
+		per += 2 // usefulness counter
 	}
 	return g.cfg.Entries*per + int(g.cfg.historyBits())
 }

@@ -19,7 +19,11 @@ type PHTEntry struct {
 	target uint64
 	hyst   counter.Hysteresis
 	lru    uint64
+	u      uint8 // usefulness, 0..phtUMax; maintained only in useful mode
 }
+
+// phtUMax caps the 2-bit per-entry usefulness counter of the u-bit tables.
+const phtUMax = 3
 
 // Target returns the stored target; meaningful only when the entry is valid.
 func (e *PHTEntry) Target() uint64 { return e.target }
@@ -35,6 +39,13 @@ type PHT struct {
 	assoc  int
 	tagged bool
 	clock  uint64
+
+	// useful mode (the ITTAGE-style u-bit management grafted onto the 1998
+	// tagged cascade): entries carry a usefulness counter, eviction only
+	// claims ways whose counter has decayed to zero, and the counters halve
+	// every resetPeriod updates.
+	useful      bool
+	resetPeriod uint64
 }
 
 // NewPHT builds a table with the given total number of entries and
@@ -59,6 +70,23 @@ func NewPHT(entries, assoc int, tagged bool) *PHT {
 		sets[i], backing = backing[:assoc], backing[assoc:]
 	}
 	return &PHT{sets: sets, assoc: assoc, tagged: tagged}
+}
+
+// NewPHTUseful builds a tagged table whose replacement is governed by
+// per-entry usefulness counters: a way is only evictable once its counter
+// reaches zero, a displaced-but-useful set decays instead of allocating,
+// and every resetPeriod updates the counters halve (the graceful reset).
+// Panics under the same geometry rules as NewPHT, or if the table is not
+// tagged (tagless tables have no victim choice to manage) or resetPeriod
+// is zero.
+func NewPHTUseful(entries, assoc int, resetPeriod uint64) *PHT {
+	if resetPeriod == 0 {
+		panic("twolevel: useful-mode reset period must be positive")
+	}
+	t := NewPHT(entries, assoc, true)
+	t.useful = true
+	t.resetPeriod = resetPeriod
+	return t
 }
 
 // Sets returns the number of sets (the index space of the table).
@@ -105,6 +133,10 @@ func (t *PHT) Update(index, tag, target uint64, allocate bool) {
 	t.clock++
 	setIdx := index & uint64(len(t.sets)-1)
 	set := t.sets[setIdx]
+	if t.useful {
+		t.updateUseful(set, tag, target, allocate)
+		return
+	}
 	if !t.tagged {
 		e := &set[0]
 		if !e.valid {
@@ -146,6 +178,67 @@ func (t *PHT) Touch(index, tag uint64) {
 		if set[i].valid && set[i].tag == tag {
 			set[i].lru = t.clock
 			return
+		}
+	}
+}
+
+// updateUseful is the u-bit train/replace discipline. On a tag hit the
+// usefulness follows whether the resident target was right for this branch
+// before hysteresis training adjusts it; on a miss, eviction may only claim
+// an invalid way or the least recent way whose usefulness is zero — when
+// every way is defended the whole set decays by one instead, so a stream of
+// conflicting branches ages resident entries out gradually rather than
+// thrashing them. The clock doubles as the graceful-reset timer.
+func (t *PHT) updateUseful(set []PHTEntry, tag, target uint64, allocate bool) {
+	if t.resetPeriod > 0 && t.clock%t.resetPeriod == 0 {
+		t.halveUseful()
+	}
+	for i := range set {
+		if set[i].valid && set[i].tag == tag {
+			e := &set[i]
+			e.lru = t.clock
+			if e.target == target {
+				if e.u < phtUMax {
+					e.u++
+				}
+			} else if e.u > 0 {
+				e.u--
+			}
+			train(e, target)
+			return
+		}
+	}
+	var victim *PHTEntry
+	for i := range set {
+		e := &set[i]
+		if !e.valid {
+			victim = e
+			break
+		}
+		if e.u == 0 && (victim == nil || e.lru < victim.lru) {
+			victim = e
+		}
+	}
+	if !allocate {
+		return
+	}
+	if victim == nil {
+		for i := range set {
+			if set[i].u > 0 {
+				set[i].u--
+			}
+		}
+		return
+	}
+	*victim = PHTEntry{valid: true, tag: tag, target: target, hyst: counter.NewHysteresis(), lru: t.clock}
+}
+
+// halveUseful ages every usefulness counter, forgetting stale protection
+// without wiping the working set.
+func (t *PHT) halveUseful() {
+	for _, set := range t.sets {
+		for i := range set {
+			set[i].u >>= 1
 		}
 	}
 }

@@ -15,6 +15,10 @@ func (t *PHT) Snapshot(w *state.Writer) {
 	w.U64(uint64(len(t.sets)))
 	w.U64(uint64(t.assoc))
 	w.Bool(t.tagged)
+	w.Bool(t.useful)
+	if t.useful {
+		w.U64(t.resetPeriod)
+	}
 	w.U64(t.clock)
 	for _, set := range t.sets {
 		for i := range set {
@@ -27,6 +31,9 @@ func (t *PHT) Snapshot(w *state.Writer) {
 			w.U64(e.target)
 			w.U8(e.hyst.Value())
 			w.U64(e.lru)
+			if t.useful {
+				w.U8(e.u)
+			}
 		}
 	}
 	w.End()
@@ -40,12 +47,18 @@ func (t *PHT) Restore(r *state.Reader) error {
 	nsets := r.U64()
 	assoc := r.U64()
 	tagged := r.Bool()
+	useful := r.Bool()
+	var resetPeriod uint64
+	if useful {
+		resetPeriod = r.U64()
+	}
 	if err := r.Err(); err != nil {
 		return err
 	}
-	if nsets != uint64(len(t.sets)) || assoc != uint64(t.assoc) || tagged != t.tagged {
-		return state.Mismatchf("PHT %d sets/%d-way/tagged %v vs snapshot %d/%d/%v",
-			len(t.sets), t.assoc, t.tagged, nsets, assoc, tagged)
+	if nsets != uint64(len(t.sets)) || assoc != uint64(t.assoc) || tagged != t.tagged ||
+		useful != t.useful || resetPeriod != t.resetPeriod {
+		return state.Mismatchf("PHT %d sets/%d-way/tagged %v/useful %v/%d vs snapshot %d/%d/%v/%v/%d",
+			len(t.sets), t.assoc, t.tagged, t.useful, t.resetPeriod, nsets, assoc, tagged, useful, resetPeriod)
 	}
 	clock := r.U64()
 	for _, set := range t.sets {
@@ -59,6 +72,10 @@ func (t *PHT) Restore(r *state.Reader) error {
 			target := r.U64()
 			raw := r.U8()
 			lru := r.U64()
+			var u uint8
+			if t.useful {
+				u = r.U8()
+			}
 			if err := r.Err(); err != nil {
 				return err
 			}
@@ -66,7 +83,10 @@ func (t *PHT) Restore(r *state.Reader) error {
 			if !ok {
 				return state.Corruptf("PHT entry hysteresis %d out of range", raw)
 			}
-			*e = PHTEntry{valid: true, tag: tag, target: target, hyst: hyst, lru: lru}
+			if u > phtUMax {
+				return state.Corruptf("PHT entry usefulness %d out of range", u)
+			}
+			*e = PHTEntry{valid: true, tag: tag, target: target, hyst: hyst, lru: lru, u: u}
 		}
 	}
 	if err := r.End(); err != nil {
@@ -89,6 +109,10 @@ func (g *GAp) Snapshot(w *state.Writer) {
 	w.U8(uint8(g.cfg.HistoryStream))
 	w.U8(uint8(g.cfg.Indexing))
 	w.U64(uint64(g.cfg.historyBits()))
+	w.Bool(g.cfg.Useful)
+	if g.cfg.Useful {
+		w.U64(g.cfg.UsefulResetPeriod)
+	}
 	w.End()
 	for _, t := range g.tables {
 		t.Snapshot(w)
@@ -110,6 +134,11 @@ func (g *GAp) Restore(r *state.Reader) error {
 	stream := history.Stream(r.U8())
 	indexing := Indexing(r.U8())
 	historyBits := r.U64()
+	useful := r.Bool()
+	var usefulReset uint64
+	if useful {
+		usefulReset = r.U64()
+	}
 	if err := r.Err(); err != nil {
 		return err
 	}
@@ -117,7 +146,8 @@ func (g *GAp) Restore(r *state.Reader) error {
 		assoc != uint64(maxInt(1, g.cfg.Assoc)) || tagged != g.cfg.Tagged ||
 		pathLength != uint64(g.cfg.PathLength) || bitsPerTarget != uint64(g.cfg.BitsPerTarget) ||
 		stream != g.cfg.HistoryStream || indexing != g.cfg.Indexing ||
-		historyBits != uint64(g.cfg.historyBits()) {
+		historyBits != uint64(g.cfg.historyBits()) ||
+		useful != g.cfg.Useful || usefulReset != g.cfg.UsefulResetPeriod {
 		return state.Mismatchf("GAp config %+v does not match snapshot fingerprint", g.cfg)
 	}
 	if err := r.End(); err != nil {
